@@ -1,0 +1,122 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1,fig7 -gpu k10
+//	experiments -run fig10 -injections 1000
+//
+// Output is the text rendering of each table/figure; EXPERIMENTS.md records
+// a reference run next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sassi/internal/experiments"
+	"sassi/internal/sim"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,table3")
+	gpu := flag.String("gpu", "k10", "device model: k10, k20, k40, mini")
+	injections := flag.Int("injections", 100, "fault injections per app for fig10 (paper: 1000)")
+	seed := flag.Uint64("seed", 2015, "campaign seed for fig10")
+	faithful := flag.Bool("faithful-handlers", false, "use the collective (goroutine-per-lane) handlers instead of the fast sequential ones")
+	apps := flag.String("apps", "", "comma list restricting table2/table3/fig10 to specific workloads")
+	flag.Parse()
+
+	var cfg sim.Config
+	switch *gpu {
+	case "k10":
+		cfg = sim.KeplerK10()
+	case "k20":
+		cfg = sim.KeplerK20()
+	case "k40":
+		cfg = sim.KeplerK40()
+	case "mini":
+		cfg = sim.MiniGPU()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown gpu %q\n", *gpu)
+		os.Exit(2)
+	}
+	env := experiments.Env{Config: cfg, Fast: !*faithful}
+
+	var appList []string
+	if *apps != "" {
+		appList = strings.Split(*apps, ",")
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	step := func(name string, f func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%s) ====\n%s\n", name, time.Since(start).Round(time.Millisecond), out)
+	}
+
+	step("table1", func() (string, error) {
+		rows, err := experiments.Table1(env)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable1(rows), nil
+	})
+	step("fig5", func() (string, error) {
+		data, err := experiments.Figure5(env)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure5(data), nil
+	})
+	step("fig7", func() (string, error) {
+		rows, err := experiments.Figure7(env)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure7(rows), nil
+	})
+	step("fig8", func() (string, error) {
+		r, err := experiments.Figure8(env)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure8(r), nil
+	})
+	step("table2", func() (string, error) {
+		rows, err := experiments.Table2(env, appList)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable2(rows), nil
+	})
+	step("fig10", func() (string, error) {
+		rows, err := experiments.Figure10(env, appList, *injections, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatFigure10(rows), nil
+	})
+	step("table3", func() (string, error) {
+		rows, err := experiments.Table3(env, appList)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatTable3(rows), nil
+	})
+}

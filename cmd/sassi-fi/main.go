@@ -1,0 +1,71 @@
+// Command sassi-fi runs a Case Study IV error-injection campaign against
+// one workload: profile the injection space, stochastically select sites,
+// flip single bits of architectural state, and classify each run's outcome
+// against a golden execution.
+//
+// Usage:
+//
+//	sassi-fi -workload rodinia.kmeans -n 1000
+//	sassi-fi -workload parboil.bfs -dataset UT -n 200 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sassi/internal/faults"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "rodinia.kmeans", "workload to inject into")
+	dataset := flag.String("dataset", "", "dataset (default: workload's first)")
+	n := flag.Int("n", 100, "number of injection runs (paper: 1000)")
+	seed := flag.Uint64("seed", 2015, "site-selection seed")
+	gpu := flag.String("gpu", "k20", "device model: k10, k20, k40, mini")
+	flag.Parse()
+
+	spec, ok := workloads.Get(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	ds := *dataset
+	if ds == "" {
+		ds = spec.DefaultDataset()
+	}
+	var cfg sim.Config
+	switch *gpu {
+	case "k10":
+		cfg = sim.KeplerK10()
+	case "k20":
+		cfg = sim.KeplerK20()
+	case "k40":
+		cfg = sim.KeplerK40()
+	case "mini":
+		cfg = sim.MiniGPU()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown gpu %q\n", *gpu)
+		os.Exit(2)
+	}
+
+	c := &faults.Campaign{
+		Spec: spec, Dataset: ds,
+		Injections: *n, Seed: *seed, Config: cfg,
+	}
+	start := time.Now()
+	res, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign: %s (%s), %d injections over %d candidate sites, %s\n",
+		res.Workload, res.Dataset, res.Total, res.SitesTotal, time.Since(start).Round(time.Millisecond))
+	for o := 0; o < faults.NumOutcomes; o++ {
+		oc := faults.Outcome(o)
+		fmt.Printf("  %-18s %5d (%5.1f%%)\n", oc.String()+":", res.Counts[o], 100*res.Fraction(oc))
+	}
+}

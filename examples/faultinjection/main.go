@@ -1,0 +1,46 @@
+// Case Study IV (paper §8): transient-error injection. The campaign
+// profiles the injection space with one SASSI handler, randomly selects
+// (kernel, invocation, thread, instruction) tuples, flips one bit of
+// architectural state per run, and classifies the outcomes.
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sassi"
+)
+
+func main() {
+	spec, ok := sassi.GetWorkload("rodinia.kmeans")
+	if !ok {
+		log.Fatal("workload not registered")
+	}
+	c := &sassi.Campaign{
+		Spec:       spec,
+		Dataset:    spec.DefaultDataset(),
+		Injections: 50, // the paper uses 1000 per application
+		Seed:       2015,
+		Config:     sassi.KeplerK20(), // the paper's error study ran on a K20
+	}
+	res, err := c.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d single-bit errors into %s (site space: %d dynamic instructions)\n",
+		res.Total, res.Workload, res.SitesTotal)
+	for _, o := range []sassi.Outcome{
+		sassi.Masked, sassi.Crash, sassi.Hang,
+		sassi.FailureSymptom, sassi.StdoutOnlyDiff, sassi.OutputDiff,
+	} {
+		bar := ""
+		for i := 0; i < int(res.Fraction(o)*50+0.5); i++ {
+			bar += "#"
+		}
+		fmt.Printf("  %-18s %5.1f%% %s\n", o, 100*res.Fraction(o), bar)
+	}
+	fmt.Println("\nMasked injections dominate, crashes and hangs are a minority, and a")
+	fmt.Println("small fraction silently corrupts output — the paper's Figure 10 shape.")
+}

@@ -1,0 +1,56 @@
+// §9.4 extension: collect a low-level memory trace from an execution and
+// use it to drive a separate memory-hierarchy simulator — here, replaying
+// the same trace through caches of different sizes to find the footprint
+// knee, entirely offline from the original run.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sassi"
+)
+
+func main() {
+	spec, ok := sassi.GetWorkload("parboil.spmv")
+	if !ok {
+		log.Fatal("workload not registered")
+	}
+	prog, err := spec.Compile(sassi.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := sassi.NewContext(sassi.KeplerK10())
+
+	// Attach the tracer to the device's coalescer watch point and run.
+	tracer := &sassi.MemTracer{}
+	tracer.Attach(ctx.Device())
+	res, err := spec.Run(ctx, prog, "medium")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		log.Fatal(res.VerifyErr)
+	}
+	fmt.Printf("captured %d warp-level memory transactions from spmv\n", len(tracer.Events))
+
+	// Serialize and re-load the trace (the file-based handoff to another
+	// tool), then drive a standalone cache simulator at several sizes.
+	var buf bytes.Buffer
+	if err := tracer.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := sassi.ReadTrace(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("replaying the trace through a standalone cache simulator:")
+	for _, kb := range []uint64{16, 64, 256, 1024} {
+		r := sassi.ReplayCache(reloaded, kb<<10, 128, 8)
+		fmt.Printf("  %5d KiB cache: %6.2f%% hit rate (%d accesses)\n",
+			kb, 100*r.HitRate(), r.Accesses)
+	}
+}

@@ -1,0 +1,87 @@
+// Case Study III (paper §7): value profiling. SASSI instruments after
+// every register-writing instruction; the handler tracks which bits of
+// each produced value are constant over the whole run and which
+// instructions are scalar (warp-invariant) — insight for register-file
+// compression and scalarization studies.
+//
+//	go run ./examples/valueprofile
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sassi"
+)
+
+func main() {
+	for _, workload := range []string{"parboil.sgemm", "rodinia.b+tree", "parboil.bfs"} {
+		spec, ok := sassi.GetWorkload(workload)
+		if !ok {
+			log.Fatalf("%s not registered", workload)
+		}
+		prog, err := spec.Compile(sassi.CompileOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx := sassi.NewContext(sassi.KeplerK10())
+		prof := sassi.NewValueProfiler(ctx)
+		if err := sassi.Instrument(prog, prof.Options()); err != nil {
+			log.Fatal(err)
+		}
+		rt := sassi.NewRuntime(prog)
+		rt.MustRegister(prof.Handler())
+		rt.Attach(ctx.Device())
+
+		res, err := spec.Run(ctx, prog, spec.DefaultDataset())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.VerifyErr != nil {
+			log.Fatalf("%s failed verification: %v", workload, res.VerifyErr)
+		}
+		s, err := prof.Summarize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s dynamic: %2.0f%% const bits, %2.0f%% scalar | static: %2.0f%% const bits, %2.0f%% scalar\n",
+			workload, s.DynConstBitsPc, s.DynScalarPc, s.StatConstBitsPc, s.StatScalarPc)
+
+		// Per-instruction detail for the most-executed instruction, in the
+		// paper's TLD/R12/R13 output style.
+		rows, err := prof.Results()
+		if err != nil {
+			log.Fatal(err)
+		}
+		hot := -1
+		for i, r := range rows {
+			// Predicate-only writers (ISETP) carry no GPR profile; pick
+			// the hottest instruction that produced register values.
+			if len(r.Dsts) > 0 && (hot < 0 || r.Weight > rows[hot].Weight) {
+				hot = i
+			}
+		}
+		if hot >= 0 {
+			r := rows[hot]
+			fmt.Printf("  hottest write @0x%08x (executed %d):\n", uint32(r.InsAddr), r.Weight)
+			for _, d := range r.Dsts {
+				mask := ""
+				for bit := 31; bit >= 0; bit-- {
+					switch {
+					case d.ConstantOnes&(1<<bit) != 0:
+						mask += "1"
+					case d.ConstantZero&(1<<bit) != 0:
+						mask += "0"
+					default:
+						mask += "T"
+					}
+				}
+				star := " "
+				if d.IsScalar {
+					star = "*"
+				}
+				fmt.Printf("    R%d%s <- [%s]\n", d.RegNum, star, mask)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module sassi
+
+go 1.22

@@ -1,0 +1,83 @@
+package cuda
+
+import (
+	"fmt"
+	"sync"
+
+	"sassi/internal/ptx"
+	"sassi/internal/ptxas"
+	"sassi/internal/sass"
+	"sassi/internal/sim"
+)
+
+// JITModule is the paper's Figure 1 dotted path: instead of ahead-of-time
+// instrumentation through ptxas, the "display driver" keeps the PTX and
+// JIT-compiles it — running SASSI as the final pass — on first launch.
+// Instrumentation options can be changed between kernel launches without
+// recompiling the application; the compiled program is cached until the
+// options change.
+type JITModule struct {
+	mu       sync.Mutex
+	build    func() (*ptx.Module, error)
+	copts    ptxas.Options
+	instr    func(*sass.Program) error
+	cached   *sass.Program
+	compiles int
+}
+
+// NewJITModule wraps a PTX module constructor for JIT compilation.
+func NewJITModule(build func() (*ptx.Module, error), copts ptxas.Options) *JITModule {
+	return &JITModule{build: build, copts: copts}
+}
+
+// SetInstrumentation installs (or replaces) the instrumentation applied at
+// the next compile; passing nil removes instrumentation. The cached
+// program is invalidated.
+func (j *JITModule) SetInstrumentation(instr func(*sass.Program) error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.instr = instr
+	j.cached = nil
+}
+
+// Program JIT-compiles (and instruments) the module, reusing the cache.
+func (j *JITModule) Program() (*sass.Program, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cached != nil {
+		return j.cached, nil
+	}
+	m, err := j.build()
+	if err != nil {
+		return nil, fmt.Errorf("cuda: jit build: %w", err)
+	}
+	prog, err := ptxas.Compile(m, j.copts)
+	if err != nil {
+		return nil, fmt.Errorf("cuda: jit compile: %w", err)
+	}
+	if j.instr != nil {
+		if err := j.instr(prog); err != nil {
+			return nil, fmt.Errorf("cuda: jit instrumentation: %w", err)
+		}
+	}
+	j.cached = prog
+	j.compiles++
+	return prog, nil
+}
+
+// Compiles reports how many times the module was actually compiled
+// (cache misses).
+func (j *JITModule) Compiles() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compiles
+}
+
+// LaunchJIT launches a kernel from a JIT module on this context.
+func (c *Context) LaunchJIT(j *JITModule, kernel string, p sim.LaunchParams) (*sim.KernelStats, error) {
+	prog, err := j.Program()
+	if err != nil {
+		return nil, err
+	}
+	return c.LaunchKernel(prog, kernel, p)
+}

@@ -1,0 +1,117 @@
+// Package cupti is the analog of NVIDIA's CUDA Profiling Tools Interface:
+// host-side code registers for callbacks at kernel launch and exit and uses
+// them to initialize device-resident instrumentation counters before a
+// kernel runs and to collect (and aggregate) them after it completes —
+// the protocol of the paper's §3.3.
+package cupti
+
+import (
+	"sassi/internal/cuda"
+	"sassi/internal/sim"
+)
+
+// Site identifies a callback site.
+type Site int
+
+// Callback sites.
+const (
+	KernelLaunch Site = iota
+	KernelExit
+)
+
+// CallbackData describes the kernel event being observed.
+type CallbackData struct {
+	Kernel    string
+	LaunchIdx int
+	// Stats and Err are only set at KernelExit.
+	Stats *sim.KernelStats
+	Err   error
+}
+
+// Callback is a subscriber function.
+type Callback func(site Site, data *CallbackData)
+
+// Subscriber routes context launch hooks to registered callbacks.
+type Subscriber struct {
+	ctx *cuda.Context
+	cbs []Callback
+}
+
+// Subscribe attaches a new subscriber to a context.
+func Subscribe(ctx *cuda.Context, cb Callback) *Subscriber {
+	s := &Subscriber{ctx: ctx}
+	s.cbs = append(s.cbs, cb)
+	ctx.Subscribe(cuda.LaunchCallbacks{
+		PreLaunch: func(kernel string, idx int) {
+			d := &CallbackData{Kernel: kernel, LaunchIdx: idx}
+			for _, f := range s.cbs {
+				f(KernelLaunch, d)
+			}
+		},
+		PostLaunch: func(kernel string, idx int, stats *sim.KernelStats, err error) {
+			d := &CallbackData{Kernel: kernel, LaunchIdx: idx, Stats: stats, Err: err}
+			for _, f := range s.cbs {
+				f(KernelExit, d)
+			}
+		},
+	})
+	return s
+}
+
+// CounterBank manages a device-resident array of 64-bit instrumentation
+// counters with the launch/exit init/collect protocol: zeroed on kernel
+// launch, copied to the host and accumulated on kernel exit. This is the
+// reusable pattern every case-study library in the paper builds on CUPTI.
+type CounterBank struct {
+	ctx   *cuda.Context
+	ptr   cuda.DevPtr
+	count int
+
+	// Host holds the accumulated totals across kernel launches.
+	Host []uint64
+	// PerKernel, when enabled, separates totals by kernel name.
+	PerKernel map[string][]uint64
+}
+
+// NewCounterBank allocates count device counters and subscribes to the
+// context's kernel boundaries.
+func NewCounterBank(ctx *cuda.Context, name string, count int) *CounterBank {
+	b := &CounterBank{
+		ctx: ctx, count: count,
+		ptr:       ctx.Malloc(uint64(8*count), name),
+		Host:      make([]uint64, count),
+		PerKernel: make(map[string][]uint64),
+	}
+	zero := make([]byte, 8*count)
+	_ = ctx.MemcpyHtoD(b.ptr, zero)
+	Subscribe(ctx, func(site Site, d *CallbackData) {
+		switch site {
+		case KernelLaunch:
+			_ = ctx.MemcpyHtoD(b.ptr, zero)
+		case KernelExit:
+			vals, err := ctx.ReadU64(b.ptr, count)
+			if err != nil {
+				return
+			}
+			agg := b.PerKernel[d.Kernel]
+			if agg == nil {
+				agg = make([]uint64, count)
+				b.PerKernel[d.Kernel] = agg
+			}
+			for i, v := range vals {
+				b.Host[i] += v
+				agg[i] += v
+			}
+		}
+	})
+	return b
+}
+
+// Ptr returns the device address of counter i (for handler AtomicAdd64).
+func (b *CounterBank) Ptr(i int) uint64 { return uint64(b.ptr) + uint64(8*i) }
+
+// Base returns the device address of the counter array.
+func (b *CounterBank) Base() uint64 { return uint64(b.ptr) }
+
+// Len returns the number of counters.
+func (b *CounterBank) Len() int { return b.count }

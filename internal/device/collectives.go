@@ -1,0 +1,109 @@
+package device
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// collectives is the per-invocation rendezvous that gives handler code its
+// warp-synchronous semantics. All active lanes of a handler invocation
+// share one instance. A collective operation (ballot, shuffle) completes
+// when every lane that is still running has arrived; lanes whose handler
+// function has returned are counted out, mirroring CUDA's rule that
+// __ballot sees only the currently active threads of the warp.
+type collectives struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	laneMask uint32 // lanes participating in this invocation
+	total    int    // popcount of laneMask
+	done     int    // lanes whose handler has returned
+
+	gen        int // current collective round
+	arrived    int
+	arrivedSet uint32
+	predMask   uint32
+	vals       [32]uint64
+
+	// Results of the most recently completed round.
+	lastPred    uint32
+	lastArrived uint32
+	lastVals    [32]uint64
+}
+
+func newCollectives(laneMask uint32) *collectives {
+	c := &collectives{laneMask: laneMask}
+	c.total = bits.OnesCount32(laneMask)
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// finishRoundLocked publishes the pending round's results and wakes waiters.
+func (c *collectives) finishRoundLocked() {
+	c.lastPred = c.predMask
+	c.lastArrived = c.arrivedSet
+	c.lastVals = c.vals
+	c.predMask = 0
+	c.arrivedSet = 0
+	c.arrived = 0
+	c.gen++
+	c.cond.Broadcast()
+}
+
+// arrive records one lane reaching a collective and blocks until the round
+// completes. The caller must have already deposited its contribution.
+func (c *collectives) arriveLocked() {
+	c.arrived++
+	if c.arrived+c.done == c.total {
+		c.finishRoundLocked()
+		return
+	}
+	myGen := c.gen
+	for c.gen == myGen {
+		c.cond.Wait()
+	}
+}
+
+// ballot implements __ballot for one lane.
+func (c *collectives) ballot(lane int, pred bool) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.arrivedSet |= 1 << lane
+	if pred {
+		c.predMask |= 1 << lane
+	}
+	c.arriveLocked()
+	return c.lastPred
+}
+
+// participants returns the lanes that took part in the last completed
+// round (the divisor for __all).
+func (c *collectives) participants() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastArrived
+}
+
+// shuffle implements __shfl for one lane: deposit v, wait, read srcLane's.
+func (c *collectives) shuffle(lane int, v uint64, srcLane int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.arrivedSet |= 1 << lane
+	c.vals[lane] = v
+	c.arriveLocked()
+	if srcLane < 0 || srcLane >= 32 || c.lastArrived&(1<<srcLane) == 0 {
+		return v
+	}
+	return c.lastVals[srcLane]
+}
+
+// laneDone removes a returned lane from all future rounds; if it was the
+// last straggler of a pending round, the round completes without it.
+func (c *collectives) laneDone() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.done++
+	if c.arrived > 0 && c.arrived+c.done == c.total {
+		c.finishRoundLocked()
+	}
+}

@@ -1,0 +1,299 @@
+// Package device is the device-side runtime that SASSI instrumentation
+// handlers are written against. It is the analog of writing handlers in
+// CUDA: a handler is a per-thread Go function that receives a Ctx and may
+// use warp-wide collectives (Ballot, Shfl, All, Any), atomics on simulated
+// device memory, and direct access to the thread's architectural state.
+//
+// Handlers that use collectives execute one goroutine per active lane in
+// true SPMD style (the paper: "SASSI instrumentation is inherently
+// parallel"); a rendezvous object gives the collectives their warp-
+// synchronous semantics, including CUDA's rule that lanes which have
+// returned no longer participate in ballots.
+package device
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sassi/internal/mem"
+	"sassi/internal/sim"
+)
+
+// Ctx is the per-thread view a handler executes with.
+type Ctx struct {
+	dev    *sim.Device
+	w      *sim.Warp
+	t      *sim.Thread
+	lane   int
+	active uint32
+	coll   *collectives
+}
+
+// Dev returns the device the kernel is running on.
+func (c *Ctx) Dev() *sim.Device { return c.dev }
+
+// Thread returns the simulated thread (architectural state access).
+func (c *Ctx) Thread() *sim.Thread { return c.t }
+
+// Lane returns this thread's lane index within its warp (threadIdx & 31).
+func (c *Ctx) Lane() int { return c.lane }
+
+// ThreadIdx returns the 3-D thread index within the CTA.
+func (c *Ctx) ThreadIdx() (x, y, z uint32) { return c.t.TidX, c.t.TidY, c.t.TidZ }
+
+// BlockIdx returns the 3-D CTA index within the grid.
+func (c *Ctx) BlockIdx() (x, y, z uint32) { return c.t.CtaX, c.t.CtaY, c.t.CtaZ }
+
+// FlatThreadIdx returns the flattened thread index within the CTA.
+func (c *Ctx) FlatThreadIdx() uint32 { return c.t.FlatTid }
+
+// GlobalThreadIdx returns a grid-unique flat thread id.
+func (c *Ctx) GlobalThreadIdx() uint64 { return c.t.GlobalFlat }
+
+// ActiveMask returns the warp's active mask at the instrumentation site.
+func (c *Ctx) ActiveMask() uint32 { return c.active }
+
+// IsLastActive reports whether this lane is the highest active lane — the
+// natural commit point for handlers that run lanes sequentially.
+func (c *Ctx) IsLastActive() bool {
+	return c.lane == 31-bits.LeadingZeros32(c.active)
+}
+
+// Collectives. With no rendezvous (sequential execution of a handler that
+// declared itself collective-free) these degrade to single-lane semantics.
+
+// Ballot evaluates pred across the handler's active lanes and returns a
+// mask with bit N set iff lane N passed true (CUDA __ballot).
+func (c *Ctx) Ballot(pred bool) uint32 {
+	if c.coll == nil {
+		if pred {
+			return 1 << c.lane
+		}
+		return 0
+	}
+	return c.coll.ballot(c.lane, pred)
+}
+
+// All reports whether pred is true on every active lane (CUDA __all).
+func (c *Ctx) All(pred bool) bool {
+	m := c.Ballot(pred)
+	return m == c.activeAtBallot()
+}
+
+// Any reports whether pred is true on any active lane (CUDA __any).
+func (c *Ctx) Any(pred bool) bool { return c.Ballot(pred) != 0 }
+
+func (c *Ctx) activeAtBallot() uint32 {
+	if c.coll == nil {
+		return 1 << c.lane
+	}
+	return c.coll.participants()
+}
+
+// Shfl returns src's value of v from lane srcLane (CUDA __shfl). Lanes that
+// are inactive or out of range yield the caller's own value.
+func (c *Ctx) Shfl(v uint32, srcLane int) uint32 {
+	if c.coll == nil {
+		return v
+	}
+	return uint32(c.coll.shuffle(c.lane, uint64(v), srcLane))
+}
+
+// Shfl64 is Shfl for 64-bit values (used to broadcast addresses).
+func (c *Ctx) Shfl64(v uint64, srcLane int) uint64 {
+	if c.coll == nil {
+		return v
+	}
+	return c.coll.shuffle(c.lane, v, srcLane)
+}
+
+// Popc is CUDA __popc.
+func Popc(x uint32) int { return bits.OnesCount32(x) }
+
+// Ffs is CUDA __ffs: 1-based index of the least significant set bit, 0 if
+// none.
+func Ffs(x uint32) int {
+	if x == 0 {
+		return 0
+	}
+	return bits.TrailingZeros32(x) + 1
+}
+
+// IsWarpLeader reports whether this lane is the first active lane — the
+// common "elect a leader to write results" idiom of the paper's handlers.
+func (c *Ctx) IsWarpLeader() bool {
+	return c.lane == Ffs(c.ActiveMask())-1
+}
+
+// Device memory access. Addresses are generic simulated addresses; faults
+// panic and are converted into kernel errors by Run, matching the behavior
+// of faulty handler code on hardware.
+
+func (c *Ctx) memPanic(err error) {
+	if err != nil {
+		panic(handlerFault{err})
+	}
+}
+
+// handlerFault wraps a memory error raised inside a handler.
+type handlerFault struct{ err error }
+
+// ReadGlobal32 loads a 32-bit word from global memory.
+func (c *Ctx) ReadGlobal32(addr uint64) uint32 {
+	v, err := c.dev.Global.Read32(addr)
+	c.memPanic(err)
+	return v
+}
+
+// WriteGlobal32 stores a 32-bit word to global memory.
+func (c *Ctx) WriteGlobal32(addr uint64, v uint32) {
+	c.memPanic(c.dev.Global.Write32(addr, v))
+}
+
+// ReadGlobal64 loads a 64-bit word from global memory.
+func (c *Ctx) ReadGlobal64(addr uint64) uint64 {
+	v, err := c.dev.Global.Read64(addr)
+	c.memPanic(err)
+	return v
+}
+
+// WriteGlobal64 stores a 64-bit word to global memory.
+func (c *Ctx) WriteGlobal64(addr uint64, v uint64) {
+	c.memPanic(c.dev.Global.Write64(addr, v))
+}
+
+// AtomicAdd32 is CUDA atomicAdd on a 32-bit counter; returns the old value.
+func (c *Ctx) AtomicAdd32(addr uint64, v uint32) uint32 {
+	old, err := c.dev.Global.Atomic32(addr, func(o uint32) uint32 { return o + v })
+	c.memPanic(err)
+	return old
+}
+
+// AtomicAdd64 is CUDA atomicAdd on an unsigned long long counter.
+func (c *Ctx) AtomicAdd64(addr uint64, v uint64) uint64 {
+	old, err := c.dev.Global.Atomic64(addr, func(o uint64) uint64 { return o + v })
+	c.memPanic(err)
+	return old
+}
+
+// AtomicAnd32 is CUDA atomicAnd (the value-profiling handler's workhorse).
+func (c *Ctx) AtomicAnd32(addr uint64, v uint32) uint32 {
+	old, err := c.dev.Global.Atomic32(addr, func(o uint32) uint32 { return o & v })
+	c.memPanic(err)
+	return old
+}
+
+// AtomicOr32 is CUDA atomicOr.
+func (c *Ctx) AtomicOr32(addr uint64, v uint32) uint32 {
+	old, err := c.dev.Global.Atomic32(addr, func(o uint32) uint32 { return o | v })
+	c.memPanic(err)
+	return old
+}
+
+// AtomicMax32 is CUDA atomicMax (unsigned).
+func (c *Ctx) AtomicMax32(addr uint64, v uint32) uint32 {
+	old, err := c.dev.Global.Atomic32(addr, func(o uint32) uint32 {
+		if v > o {
+			return v
+		}
+		return o
+	})
+	c.memPanic(err)
+	return old
+}
+
+// AtomicCAS32 is CUDA atomicCAS.
+func (c *Ctx) AtomicCAS32(addr uint64, compare, val uint32) uint32 {
+	old, err := c.dev.Global.Atomic32(addr, func(o uint32) uint32 {
+		if o == compare {
+			return val
+		}
+		return o
+	})
+	c.memPanic(err)
+	return old
+}
+
+// AtomicCAS64 is CUDA atomicCAS on 64-bit values.
+func (c *Ctx) AtomicCAS64(addr uint64, compare, val uint64) uint64 {
+	old, err := c.dev.Global.Atomic64(addr, func(o uint64) uint64 {
+		if o == compare {
+			return val
+		}
+		return o
+	})
+	c.memPanic(err)
+	return old
+}
+
+// ReadGeneric32 loads through the generic address space: local and shared
+// windows resolve against this thread/CTA (how handlers read the SASSI
+// parameter objects the injected code placed on the stack).
+func (c *Ctx) ReadGeneric32(addr uint64) uint32 {
+	space, off := mem.Decode(addr)
+	switch space {
+	case mem.SpaceGlobal:
+		return c.ReadGlobal32(addr)
+	case mem.SpaceLocal:
+		v, err := c.t.Local.Read32(off)
+		c.memPanic(err)
+		return v
+	case mem.SpaceShared:
+		v, err := c.w.CTA.Shared.Read32(off)
+		c.memPanic(err)
+		return v
+	}
+	c.memPanic(&mem.Fault{Space: mem.SpaceInvalid, Addr: addr, Why: "handler access to unmapped generic address"})
+	return 0
+}
+
+// WriteGeneric32 stores through the generic address space.
+func (c *Ctx) WriteGeneric32(addr uint64, v uint32) {
+	space, off := mem.Decode(addr)
+	switch space {
+	case mem.SpaceGlobal:
+		c.WriteGlobal32(addr, v)
+	case mem.SpaceLocal:
+		c.memPanic(c.t.Local.Write32(off, v))
+	case mem.SpaceShared:
+		c.memPanic(c.w.CTA.Shared.Write32(off, v))
+	default:
+		c.memPanic(&mem.Fault{Space: mem.SpaceInvalid, Addr: addr, Write: true, Why: "handler access to unmapped generic address"})
+	}
+}
+
+// ReadGeneric64 loads a 64-bit value through the generic address space.
+func (c *Ctx) ReadGeneric64(addr uint64) uint64 {
+	lo := c.ReadGeneric32(addr)
+	hi := c.ReadGeneric32(addr + 4)
+	return uint64(lo) | uint64(hi)<<32
+}
+
+// Architectural state access (Case Studies III and IV).
+
+// ReadReg returns the value of GPR r.
+func (c *Ctx) ReadReg(r uint8) uint32 { return c.t.ReadReg(r) }
+
+// WriteReg sets GPR r — handlers may mutate ISA-visible state (the
+// error-injection capability CUDA-GDB-based approaches lacked).
+func (c *Ctx) WriteReg(r uint8, v uint32) { c.t.WriteReg(r, v) }
+
+// ReadPred returns predicate register p.
+func (c *Ctx) ReadPred(p uint8) bool { return c.t.ReadPred(p) }
+
+// WritePred sets predicate register p.
+func (c *Ctx) WritePred(p uint8, v bool) { c.t.WritePred(p, v) }
+
+// ReadCC returns the 4-bit condition code.
+func (c *Ctx) ReadCC() uint8 { return c.t.CC }
+
+// WriteCC sets the 4-bit condition code.
+func (c *Ctx) WriteCC(v uint8) { c.t.CC = v & 0xf }
+
+// DynInstrs returns the count of dynamic instructions this thread has
+// executed (used by the fault-injection site selector).
+func (c *Ctx) DynInstrs() uint64 { return c.t.DynInstrs }
+
+func (c *Ctx) String() string {
+	return fmt.Sprintf("ctx{cta=(%d,%d,%d) tid=%d lane=%d}", c.t.CtaX, c.t.CtaY, c.t.CtaZ, c.t.FlatTid, c.lane)
+}

@@ -1,0 +1,270 @@
+package device_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sassi/internal/device"
+	"sassi/internal/ptx"
+	"sassi/internal/ptxas"
+	isassi "sassi/internal/sassi"
+	"sassi/internal/sim"
+)
+
+// collectiveHarness runs a handler before every instruction of a trivial
+// kernel on a single full warp and hands each invocation to fn.
+func collectiveHarness(t *testing.T, parallel bool, fn device.Fn) {
+	t.Helper()
+	b := ptx.NewKernel("k")
+	out := b.ParamU64("out")
+	b.StGlobalU32(out, 0, b.TidX()) // single instrumentable site + exit
+	m := ptx.NewModule()
+	m.Add(b.MustDone())
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := isassi.Instrument(prog, isassi.Options{
+		Where: isassi.BeforeMem, BeforeHandler: "h",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dev := sim.NewDevice(sim.MiniGPU())
+	rt := isassi.NewRuntime(prog)
+	rt.MustRegister(&isassi.Handler{Name: "h", Sequential: !parallel,
+		Fn: func(c *device.Ctx, args isassi.HandlerArgs) { fn(c) }})
+	rt.Attach(dev)
+	buf := dev.Alloc(4*32, "out")
+	if _, err := dev.Launch(prog, "k", sim.LaunchParams{
+		Grid: sim.D1(1), Block: sim.D1(32), Args: []uint64{buf},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBallotFullWarp(t *testing.T) {
+	collectiveHarness(t, true, func(c *device.Ctx) {
+		if got := c.Ballot(true); got != 0xffffffff {
+			t.Errorf("ballot(true) = %#x", got)
+		}
+		if got := c.Ballot(c.Lane()%2 == 0); got != 0x55555555 {
+			t.Errorf("ballot(even) = %#x", got)
+		}
+		if got := c.Ballot(false); got != 0 {
+			t.Errorf("ballot(false) = %#x", got)
+		}
+	})
+}
+
+func TestAllAny(t *testing.T) {
+	collectiveHarness(t, true, func(c *device.Ctx) {
+		if !c.All(true) {
+			t.Error("All(true) false")
+		}
+		if c.All(c.Lane() != 5) {
+			t.Error("All with one dissenter true")
+		}
+		if !c.Any(c.Lane() == 7) {
+			t.Error("Any with one true lane false")
+		}
+		if c.Any(false) {
+			t.Error("Any(false) true")
+		}
+	})
+}
+
+func TestShflBroadcast(t *testing.T) {
+	collectiveHarness(t, true, func(c *device.Ctx) {
+		v := uint32(c.Lane() * 10)
+		if got := c.Shfl(v, 3); got != 30 {
+			t.Errorf("lane %d shfl from 3 = %d", c.Lane(), got)
+		}
+		// Out-of-range source yields own value.
+		if got := c.Shfl(v, 99); got != v {
+			t.Errorf("invalid shfl = %d, want own %d", got, v)
+		}
+		wide := uint64(c.Lane()) << 40
+		if got := c.Shfl64(wide, 31); got != uint64(31)<<40 {
+			t.Errorf("shfl64 = %#x", got)
+		}
+	})
+}
+
+func TestEarlyReturnLeavesCollective(t *testing.T) {
+	// Odd lanes return before the ballot; the ballot must cover only the
+	// even lanes that reach it (CUDA active-thread semantics).
+	collectiveHarness(t, true, func(c *device.Ctx) {
+		if c.Lane()%2 == 1 {
+			return
+		}
+		if got := c.Ballot(true); got != 0x55555555 {
+			t.Errorf("ballot after odd-lane exits = %#x", got)
+		}
+	})
+}
+
+func TestCollectiveLoopLockstep(t *testing.T) {
+	// Iterative leader-peeling (the Figure 6 idiom) over distinct values
+	// must count exactly 32 unique values in 32 rounds.
+	collectiveHarness(t, true, func(c *device.Ctx) {
+		mine := uint64(c.Lane())
+		workset := c.Ballot(true)
+		rounds := 0
+		for workset != 0 {
+			leader := device.Ffs(workset) - 1
+			leadersVal := c.Shfl64(mine, leader)
+			notMatch := c.Ballot(leadersVal != mine)
+			workset &= notMatch
+			rounds++
+			if rounds > 32 {
+				t.Error("leader peeling did not converge")
+				return
+			}
+		}
+		if rounds != 32 {
+			t.Errorf("rounds = %d, want 32 (all values distinct)", rounds)
+		}
+	})
+}
+
+func TestIsWarpLeaderAndLastActive(t *testing.T) {
+	var leaders, lasts atomic.Int32
+	collectiveHarness(t, false, func(c *device.Ctx) {
+		if c.IsWarpLeader() {
+			leaders.Add(1)
+			if c.Lane() != 0 {
+				t.Errorf("leader is lane %d", c.Lane())
+			}
+		}
+		if c.IsLastActive() {
+			lasts.Add(1)
+			if c.Lane() != 31 {
+				t.Errorf("last active is lane %d", c.Lane())
+			}
+		}
+	})
+	if leaders.Load() != 1 || lasts.Load() != 1 {
+		t.Errorf("leaders=%d lasts=%d, want 1/1", leaders.Load(), lasts.Load())
+	}
+}
+
+func TestPopcFfs(t *testing.T) {
+	if device.Popc(0) != 0 || device.Popc(0xF0F0) != 8 || device.Popc(^uint32(0)) != 32 {
+		t.Error("Popc wrong")
+	}
+	if device.Ffs(0) != 0 || device.Ffs(1) != 1 || device.Ffs(0x80000000) != 32 {
+		t.Error("Ffs wrong")
+	}
+}
+
+func TestThreadIdentity(t *testing.T) {
+	collectiveHarness(t, false, func(c *device.Ctx) {
+		x, y, z := c.ThreadIdx()
+		if int(x) != c.Lane() || y != 0 || z != 0 {
+			t.Errorf("threadIdx = (%d,%d,%d) lane %d", x, y, z, c.Lane())
+		}
+		if c.FlatThreadIdx() != x {
+			t.Error("flat tid mismatch")
+		}
+		bx, _, _ := c.BlockIdx()
+		if bx != 0 {
+			t.Error("blockIdx wrong")
+		}
+	})
+}
+
+func TestHandlerMemFaultBecomesError(t *testing.T) {
+	b := ptx.NewKernel("k")
+	out := b.ParamU64("out")
+	b.StGlobalU32(out, 0, b.TidX())
+	m := ptx.NewModule()
+	m.Add(b.MustDone())
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := isassi.Instrument(prog, isassi.Options{Where: isassi.BeforeMem, BeforeHandler: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	dev := sim.NewDevice(sim.MiniGPU())
+	rt := isassi.NewRuntime(prog)
+	rt.MustRegister(&isassi.Handler{Name: "h", Sequential: true,
+		Fn: func(c *device.Ctx, args isassi.HandlerArgs) {
+			c.ReadGlobal32(0xdeadbeef) // below heap: fault
+		}})
+	rt.Attach(dev)
+	buf := dev.Alloc(4*32, "out")
+	_, err = dev.Launch(prog, "k", sim.LaunchParams{
+		Grid: sim.D1(1), Block: sim.D1(32), Args: []uint64{buf},
+	})
+	if err == nil {
+		t.Fatal("handler fault not surfaced")
+	}
+}
+
+func TestAtomicHelpers(t *testing.T) {
+	dev := sim.NewDevice(sim.MiniGPU())
+	base := dev.Alloc(64, "c")
+	collected := false
+	collectiveHarnessOnDev(t, dev, func(c *device.Ctx) {
+		c.AtomicAdd32(base, 1)
+		c.AtomicOr32(base+4, 1<<uint(c.Lane()%8))
+		c.AtomicMax32(base+8, uint32(c.Lane()))
+		if c.IsWarpLeader() {
+			c.AtomicCAS32(base+12, 0, 42)
+			c.AtomicCAS32(base+12, 0, 99) // loses
+			c.AtomicCAS64(base+16, 0, 1<<40)
+			c.WriteGlobal64(base+24, 7)
+			if c.ReadGlobal64(base+24) != 7 {
+				t.Error("write/read 64 mismatch")
+			}
+			collected = true
+		}
+	})
+	if !collected {
+		t.Fatal("handler never ran")
+	}
+	if v, _ := dev.Global.Read32(base); v != 32 {
+		t.Errorf("add32 = %d", v)
+	}
+	if v, _ := dev.Global.Read32(base + 4); v != 0xff {
+		t.Errorf("or32 = %#x", v)
+	}
+	if v, _ := dev.Global.Read32(base + 8); v != 31 {
+		t.Errorf("max32 = %d", v)
+	}
+	if v, _ := dev.Global.Read32(base + 12); v != 42 {
+		t.Errorf("cas32 = %d", v)
+	}
+	if v, _ := dev.Global.Read64(base + 16); v != 1<<40 {
+		t.Errorf("cas64 = %#x", v)
+	}
+}
+
+// collectiveHarnessOnDev is collectiveHarness against a caller-provided
+// device (so tests can pre-allocate buffers).
+func collectiveHarnessOnDev(t *testing.T, dev *sim.Device, fn device.Fn) {
+	t.Helper()
+	b := ptx.NewKernel("k")
+	out := b.ParamU64("out")
+	b.StGlobalU32(out, 0, b.TidX())
+	m := ptx.NewModule()
+	m.Add(b.MustDone())
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := isassi.Instrument(prog, isassi.Options{Where: isassi.BeforeMem, BeforeHandler: "h"}); err != nil {
+		t.Fatal(err)
+	}
+	rt := isassi.NewRuntime(prog)
+	rt.MustRegister(&isassi.Handler{Name: "h", Sequential: true,
+		Fn: func(c *device.Ctx, args isassi.HandlerArgs) { fn(c) }})
+	rt.Attach(dev)
+	buf := dev.Alloc(4*32, "out")
+	if _, err := dev.Launch(prog, "k", sim.LaunchParams{
+		Grid: sim.D1(1), Block: sim.D1(32), Args: []uint64{buf},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

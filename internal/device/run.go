@@ -1,0 +1,75 @@
+package device
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"sassi/internal/sim"
+)
+
+// Fn is an instrumentation handler body: per-thread code, as in CUDA.
+type Fn func(c *Ctx)
+
+// RunWarp executes fn once per active lane of w.
+//
+// When parallel is true each lane runs on its own goroutine sharing a
+// collectives rendezvous (required when fn uses Ballot/Shfl/All/Any).
+// When false, lanes run sequentially in ascending lane order — cheaper,
+// and legal only for handlers that use no warp collectives (the ablation
+// study measures this difference).
+//
+// A panic in fn (including simulated memory faults raised by Ctx accessors)
+// aborts the warp's handler invocation and is returned as an error, like a
+// faulting handler would kill a kernel on hardware.
+func RunWarp(d *sim.Device, wp *sim.Warp, active uint32, parallel bool, fn Fn) (err error) {
+	lanes := make([]int, 0, 32)
+	for m := active; m != 0; m &= m - 1 {
+		lanes = append(lanes, bits.TrailingZeros32(m))
+	}
+	if len(lanes) == 0 {
+		return nil
+	}
+	if !parallel || len(lanes) == 1 {
+		for _, l := range lanes {
+			c := &Ctx{dev: d, w: wp, t: wp.Threads[l], lane: l, active: active}
+			if e := runLane(c, fn); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	coll := newCollectives(active)
+	var wg sync.WaitGroup
+	errs := make([]error, len(lanes))
+	for i, l := range lanes {
+		wg.Add(1)
+		go func(i, l int) {
+			defer wg.Done()
+			defer coll.laneDone()
+			c := &Ctx{dev: d, w: wp, t: wp.Threads[l], lane: l, active: active, coll: coll}
+			errs[i] = runLane(c, fn)
+		}(i, l)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func runLane(c *Ctx, fn Fn) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if hf, ok := r.(handlerFault); ok {
+				err = fmt.Errorf("instrumentation handler: %w", hf.err)
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(c)
+	return nil
+}

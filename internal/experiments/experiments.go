@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1 and Figure 5 (Case Study I, branch divergence),
+// Figures 7 and 8 (Case Study II, memory address divergence), Table 2
+// (Case Study III, value profiling), Figure 10 (Case Study IV, error
+// injection), and Table 3 (instrumentation overheads).
+//
+// Numbers will not match the paper exactly — the workloads run on synthetic
+// datasets and the hardware is a simulator — but each experiment's *shape*
+// (who diverges, who wins, roughly by how much) is the reproduction target;
+// EXPERIMENTS.md records paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sassi/internal/cuda"
+	"sassi/internal/ptxas"
+	"sassi/internal/sassi"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// Env configures an experiment run.
+type Env struct {
+	// Config is the simulated GPU (default: the K10-like model the paper's
+	// case studies I-III used).
+	Config sim.Config
+	// Fast selects the sequential profiling handlers (identical results,
+	// no per-lane goroutines). The paper-faithful collective handlers are
+	// used when false.
+	Fast bool
+}
+
+// Default returns the standard experiment environment.
+func Default() Env {
+	return Env{Config: sim.KeplerK10(), Fast: true}
+}
+
+// instrumentedRun compiles a workload, applies an instrumentation spec,
+// registers the handler, and runs the workload to completion, requiring the
+// result to still verify. It returns the context for stats inspection.
+func instrumentedRun(env Env, workload, dataset string,
+	setup func(ctx *cuda.Context) (*sassi.Handler, sassi.Options)) (*cuda.Context, error) {
+
+	spec, ok := workloads.Get(workload)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", workload)
+	}
+	prog, err := spec.Compile(ptxas.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ctx := cuda.NewContext(env.Config)
+	h, opts := setup(ctx)
+	if err := sassi.Instrument(prog, opts); err != nil {
+		return nil, err
+	}
+	rt := sassi.NewRuntime(prog)
+	if err := rt.Register(h); err != nil {
+		return nil, err
+	}
+	rt.Attach(ctx.Device())
+	res, err := spec.Run(ctx, prog, dataset)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s(%s): %w", workload, dataset, err)
+	}
+	if res.VerifyErr != nil {
+		return nil, fmt.Errorf("experiments: %s(%s) failed verification under instrumentation: %w",
+			workload, dataset, res.VerifyErr)
+	}
+	return ctx, nil
+}
+
+// baselineRun runs a workload uninstrumented and reports wall time and
+// context stats.
+func baselineRun(env Env, workload, dataset string) (*cuda.Context, time.Duration, error) {
+	spec, ok := workloads.Get(workload)
+	if !ok {
+		return nil, 0, fmt.Errorf("experiments: unknown workload %q", workload)
+	}
+	prog, err := spec.Compile(ptxas.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := cuda.NewContext(env.Config)
+	start := time.Now()
+	res, err := spec.Run(ctx, prog, dataset)
+	wall := time.Since(start)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.VerifyErr != nil {
+		return nil, 0, fmt.Errorf("experiments: %s baseline failed verification: %w", workload, res.VerifyErr)
+	}
+	return ctx, wall, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"sassi/internal/faults"
+	"sassi/internal/workloads"
+)
+
+// Fig10Row is one application's injection-outcome distribution (Figure 10).
+type Fig10Row struct {
+	App    string
+	Result *faults.Result
+}
+
+// Fig10Apps returns the default Figure 10 application list: a suite subset
+// chosen to keep campaign runtime reasonable while covering the behaviour
+// spectrum (arithmetic, binning, graph, DP, search codes).
+func Fig10Apps() []string {
+	return []string{
+		"parboil.bfs",
+		"parboil.histo",
+		"parboil.sgemm",
+		"parboil.stencil",
+		"parboil.sad",
+		"rodinia.kmeans",
+		"rodinia.nn",
+		"rodinia.pathfinder",
+		"rodinia.b+tree",
+		"rodinia.hotspot",
+		"rodinia.backprop",
+		"rodinia.gaussian",
+	}
+}
+
+// Figure10 runs injection campaigns (injections runs per app; the paper
+// uses 1000) over the given applications (nil = default list).
+func Figure10(env Env, apps []string, injections int, seed uint64) ([]Fig10Row, error) {
+	if apps == nil {
+		apps = Fig10Apps()
+	}
+	if injections <= 0 {
+		injections = 100
+	}
+	var rows []Fig10Row
+	for _, app := range apps {
+		spec, ok := workloads.Get(app)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown workload %q", app)
+		}
+		dataset := spec.DefaultDataset()
+		if app == "parboil.bfs" {
+			dataset = "UT" // smallest graph keeps campaigns quick
+		}
+		c := &faults.Campaign{
+			Spec: spec, Dataset: dataset,
+			Injections: injections, Seed: seed, Config: env.Config,
+		}
+		res, err := c.Run()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: campaign %s: %w", app, err)
+		}
+		rows = append(rows, Fig10Row{App: app, Result: res})
+	}
+	return rows, nil
+}
+
+// FormatFigure10 renders stacked-bar percentages per app plus the average.
+func FormatFigure10(rows []Fig10Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 10: Error injection outcomes (fraction of injections)\n")
+	b.WriteString(fmt.Sprintf("%-22s %8s %8s %8s %9s %8s %8s\n",
+		"app", "masked", "crash", "hang", "symptom", "stdout", "output"))
+	var avg [faults.NumOutcomes]float64
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-22s %7.1f%% %7.1f%% %7.1f%% %8.1f%% %7.1f%% %7.1f%%\n",
+			r.App,
+			100*r.Result.Fraction(faults.Masked),
+			100*r.Result.Fraction(faults.Crash),
+			100*r.Result.Fraction(faults.Hang),
+			100*r.Result.Fraction(faults.FailureSymptom),
+			100*r.Result.Fraction(faults.StdoutOnlyDiff),
+			100*r.Result.Fraction(faults.OutputDiff)))
+		for o := 0; o < faults.NumOutcomes; o++ {
+			avg[o] += r.Result.Fraction(faults.Outcome(o))
+		}
+	}
+	if len(rows) > 0 {
+		n := float64(len(rows))
+		b.WriteString(fmt.Sprintf("%-22s %7.1f%% %7.1f%% %7.1f%% %8.1f%% %7.1f%% %7.1f%%\n",
+			"AVERAGE", 100*avg[0]/n, 100*avg[1]/n, 100*avg[2]/n, 100*avg[3]/n, 100*avg[4]/n, 100*avg[5]/n))
+	}
+	return b.String()
+}

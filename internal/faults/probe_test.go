@@ -1,0 +1,38 @@
+package faults_test
+
+import (
+	"testing"
+
+	"sassi/internal/faults"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// TestOutcomeDistributionShape checks the paper's Figure 10 headline shape
+// on a masking-friendly workload: masked injections are the large majority
+// and crashes a minority. kmeans masks heavily because only the final
+// membership decision reaches the output.
+func TestOutcomeDistributionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign")
+	}
+	spec, _ := workloads.Get("rodinia.kmeans")
+	c := &faults.Campaign{
+		Spec: spec, Dataset: spec.DefaultDataset(),
+		Injections: 30, Seed: 11, Config: sim.MiniGPU(),
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	t.Logf("masked=%d crash=%d hang=%d symptom=%d stdout=%d output=%d",
+		res.Counts[faults.Masked], res.Counts[faults.Crash], res.Counts[faults.Hang],
+		res.Counts[faults.FailureSymptom], res.Counts[faults.StdoutOnlyDiff],
+		res.Counts[faults.OutputDiff])
+	if got := res.Fraction(faults.Masked); got < 0.5 {
+		t.Errorf("masked fraction = %.2f, want the majority (paper: ~0.79)", got)
+	}
+	if got := res.Fraction(faults.Crash) + res.Fraction(faults.Hang); got > 0.4 {
+		t.Errorf("crash+hang fraction = %.2f, want a minority (paper: ~0.10)", got)
+	}
+}

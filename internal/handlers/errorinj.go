@@ -1,0 +1,206 @@
+package handlers
+
+import (
+	"sassi/internal/cuda"
+	"sassi/internal/device"
+	"sassi/internal/sass"
+	"sassi/internal/sassi"
+)
+
+// Error injection (Case Study IV, §8) runs in two phases with two distinct
+// handlers, matching the paper:
+//
+//  1. a profiling pass counts, per thread, the dynamic instructions that
+//     write a register (or memory) and are not predicated off — the error
+//     injection site space;
+//  2. an injection pass flips one bit of one destination register of one
+//     selected (thread, dynamic-instruction) tuple and lets the program
+//     run unhindered.
+
+// injWhere is the shared site selection: after instructions that write
+// registers. (Predicated-off instances are filtered in the handler.)
+func injWhere() sassi.Options {
+	return sassi.Options{
+		Where:        sassi.AfterRegWrites,
+		What:         sassi.PassRegisterInfo,
+		AfterHandler: "sassi_errorinj_handler",
+	}
+}
+
+// InjProfiler counts qualifying dynamic instructions per thread.
+type InjProfiler struct {
+	ctx     *cuda.Context
+	counts  cuda.DevPtr
+	threads int
+}
+
+// NewInjProfiler allocates one counter per grid thread.
+func NewInjProfiler(ctx *cuda.Context, maxThreads int) *InjProfiler {
+	p := &InjProfiler{ctx: ctx, threads: maxThreads}
+	p.counts = ctx.Malloc(uint64(8*maxThreads), "sassi.inj_profile")
+	zero := make([]byte, 8*maxThreads)
+	_ = ctx.MemcpyHtoD(p.counts, zero)
+	return p
+}
+
+// Options returns the instrumentation specification for profiling.
+func (p *InjProfiler) Options() sassi.Options { return injWhere() }
+
+// Handler counts qualifying sites per thread. It uses no collectives, so
+// it runs lanes sequentially (cheap).
+func (p *InjProfiler) Handler() *sassi.Handler {
+	return &sassi.Handler{
+		Name:       "sassi_errorinj_handler",
+		What:       sassi.PassRegisterInfo,
+		Sequential: true,
+		Fn: func(c *device.Ctx, args sassi.HandlerArgs) {
+			if !args.BP.InstrWillExecute() {
+				return
+			}
+			tid := c.GlobalThreadIdx()
+			if tid < uint64(p.threads) {
+				c.AtomicAdd64(uint64(p.counts)+tid*8, 1)
+			}
+		},
+	}
+}
+
+// Counts downloads the per-thread qualifying-instruction counts.
+func (p *InjProfiler) Counts() ([]uint64, error) {
+	return p.ctx.ReadU64(p.counts, p.threads)
+}
+
+// DevPtr exposes the device-side counter array (for host-side resets
+// between launches).
+func (p *InjProfiler) DevPtr() cuda.DevPtr { return p.counts }
+
+// InjectionSite selects where a single bit flip lands, the tuple the
+// paper's off-line stochastic step produces.
+type InjectionSite struct {
+	// Kernel and Invocation select the launch; the campaign driver (in
+	// internal/faults) arms the injector only for that launch.
+	Kernel     string
+	Invocation int
+	// ThreadID is the grid-flat thread index.
+	ThreadID uint64
+	// InstrIndex is the ordinal of the qualifying dynamic instruction
+	// within that thread (0-based).
+	InstrIndex uint64
+	// DstSeed selects among the instruction's destinations; BitSeed
+	// selects the bit to flip.
+	DstSeed uint32
+	BitSeed uint32
+	// Target selects the state class: general purpose register, predicate,
+	// or condition code.
+	Target InjectTarget
+}
+
+// InjectTarget is the class of architectural state to corrupt.
+type InjectTarget int
+
+// Injection targets.
+const (
+	TargetGPR InjectTarget = iota
+	TargetPred
+	TargetCC
+)
+
+// Injector is the second-phase handler: it counts qualifying instructions
+// on the selected thread and mutates architectural state at the selected
+// one. Armed is cleared after the flip so later launches are untouched.
+type Injector struct {
+	Site  InjectionSite
+	Armed bool
+
+	// Injected reports whether the flip happened; FlippedReg/FlippedBit
+	// record what was hit (for reporting).
+	Injected   bool
+	FlippedReg uint8
+	FlippedBit uint32
+
+	counter uint64 // dynamic qualifying instructions seen on the target thread
+}
+
+// NewInjector prepares an injector for one site.
+func NewInjector(site InjectionSite) *Injector {
+	return &Injector{Site: site, Armed: false}
+}
+
+// Options returns the instrumentation specification for injection runs.
+func (inj *Injector) Options() sassi.Options { return injWhere() }
+
+// Arm enables the injector (the campaign driver arms it when the selected
+// kernel invocation is reached, via CUPTI callbacks).
+func (inj *Injector) Arm() { inj.Armed = true }
+
+// Handler performs the bit flip at the selected site. State mutation goes
+// through the spill-aware Set* accessors so the flipped value survives the
+// restore sequence — the capability CUDA-GDB-based injection lacked.
+func (inj *Injector) Handler() *sassi.Handler {
+	return &sassi.Handler{
+		Name:       "sassi_errorinj_handler",
+		What:       sassi.PassRegisterInfo,
+		Sequential: true,
+		Fn: func(c *device.Ctx, args sassi.HandlerArgs) {
+			if !inj.Armed || inj.Injected {
+				return
+			}
+			if !args.BP.InstrWillExecute() {
+				return
+			}
+			if c.GlobalThreadIdx() != inj.Site.ThreadID {
+				return
+			}
+			idx := inj.counter
+			inj.counter++
+			if idx != inj.Site.InstrIndex {
+				return
+			}
+			inj.inject(c, args)
+		},
+	}
+}
+
+func (inj *Injector) inject(c *device.Ctx, args sassi.HandlerArgs) {
+	bp := args.BP
+	rp := args.RP
+	switch inj.Site.Target {
+	case TargetPred:
+		// Flip a predicate the instruction wrote; if it wrote none, fall
+		// back to a GPR flip.
+		if op := bp.Opcode(); op == sass.OpISETP || op == sass.OpFSETP || op == sass.OpPSETP {
+			p := uint8(inj.Site.DstSeed % 7)
+			bp.SetPredValue(p, !bp.GetPredValue(p))
+			inj.Injected = true
+			inj.FlippedReg = p
+			inj.FlippedBit = uint32(p)
+			return
+		}
+		fallthrough
+	case TargetGPR:
+		nd := rp.NumGPRDsts()
+		if nd == 0 {
+			// Register-less qualifying instruction (e.g. a store with CC);
+			// flip CC instead.
+			inj.flipCC(bp)
+			return
+		}
+		d := int(inj.Site.DstSeed) % nd
+		reg := rp.GPRDst(d)
+		bit := inj.Site.BitSeed % 32
+		rp.SetRegValue(reg, rp.GetRegValue(reg)^(1<<bit))
+		inj.Injected = true
+		inj.FlippedReg = reg
+		inj.FlippedBit = bit
+	case TargetCC:
+		inj.flipCC(bp)
+	}
+}
+
+func (inj *Injector) flipCC(bp sassi.BeforeParams) {
+	bit := inj.Site.BitSeed % 4
+	bp.SetCCValue(bp.GetCCValue() ^ (1 << bit))
+	inj.Injected = true
+	inj.FlippedReg = 0xff
+	inj.FlippedBit = bit
+}

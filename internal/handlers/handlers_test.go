@@ -1,0 +1,172 @@
+package handlers_test
+
+import (
+	"testing"
+
+	"sassi/internal/cuda"
+	"sassi/internal/handlers"
+	"sassi/internal/ptxas"
+	"sassi/internal/sassi"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// run executes a workload with the given profiler wiring and returns after
+// the run verifies.
+func run(t *testing.T, workload, dataset string, setup func(ctx *cuda.Context) (*sassi.Handler, sassi.Options)) {
+	t.Helper()
+	spec, ok := workloads.Get(workload)
+	if !ok {
+		t.Fatalf("workload %s not registered", workload)
+	}
+	prog, err := spec.Compile(ptxas.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ctx := cuda.NewContext(sim.MiniGPU())
+	h, opts := setup(ctx)
+	if err := sassi.Instrument(prog, opts); err != nil {
+		t.Fatalf("instrument: %v", err)
+	}
+	rt := sassi.NewRuntime(prog)
+	rt.MustRegister(h)
+	rt.Attach(ctx.Device())
+	res, err := spec.Run(ctx, prog, dataset)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.VerifyErr != nil {
+		t.Fatalf("instrumented run no longer verifies: %v", res.VerifyErr)
+	}
+}
+
+// TestBranchProfilerEquivalence checks the collective (Figure 4) and the
+// sequential branch profilers agree exactly.
+func TestBranchProfilerEquivalence(t *testing.T) {
+	var summaries [2]handlers.BranchSummary
+	for i, sequential := range []bool{false, true} {
+		var p *handlers.BranchProfiler
+		run(t, "parboil.bfs", "UT", func(ctx *cuda.Context) (*sassi.Handler, sassi.Options) {
+			p = handlers.NewBranchProfiler(ctx)
+			if sequential {
+				return p.SequentialHandler(), p.Options()
+			}
+			return p.Handler(), p.Options()
+		})
+		s, err := p.Summarize()
+		if err != nil {
+			t.Fatalf("summarize: %v", err)
+		}
+		summaries[i] = s
+	}
+	if summaries[0] != summaries[1] {
+		t.Errorf("parallel %+v != sequential %+v", summaries[0], summaries[1])
+	}
+	if summaries[0].DynamicBranches == 0 || summaries[0].DynamicDivergent == 0 {
+		t.Errorf("bfs should have divergent branches: %+v", summaries[0])
+	}
+}
+
+// TestMemDivProfilerEquivalence checks the two memory-divergence handlers
+// produce identical 32x32 matrices.
+func TestMemDivProfilerEquivalence(t *testing.T) {
+	var totals [2]uint64
+	var pmf0 [2]float64
+	for i, sequential := range []bool{false, true} {
+		var p *handlers.MemDivProfiler
+		run(t, "parboil.spmv", "small", func(ctx *cuda.Context) (*sassi.Handler, sassi.Options) {
+			p = handlers.NewMemDivProfiler(ctx)
+			if sequential {
+				return p.SequentialHandler(), p.Options()
+			}
+			return p.Handler(), p.Options()
+		})
+		m, err := p.Matrix()
+		if err != nil {
+			t.Fatalf("matrix: %v", err)
+		}
+		totals[i] = m.TotalAccesses()
+		pmf0[i] = m.UniqueLinePMF()[0]
+	}
+	if totals[0] != totals[1] || pmf0[0] != pmf0[1] {
+		t.Errorf("parallel (%d, %f) != sequential (%d, %f)", totals[0], pmf0[0], totals[1], pmf0[1])
+	}
+	if totals[0] == 0 {
+		t.Error("no accesses recorded")
+	}
+}
+
+// TestValueProfilerEquivalence checks the two value profilers agree.
+func TestValueProfilerEquivalence(t *testing.T) {
+	var sums [2]handlers.ValueSummary
+	for i, sequential := range []bool{false, true} {
+		var p *handlers.ValueProfiler
+		run(t, "demo.vecadd", "small", func(ctx *cuda.Context) (*sassi.Handler, sassi.Options) {
+			p = handlers.NewValueProfiler(ctx)
+			if sequential {
+				return p.SequentialHandler(), p.Options()
+			}
+			return p.Handler(), p.Options()
+		})
+		s, err := p.Summarize()
+		if err != nil {
+			t.Fatalf("summarize: %v", err)
+		}
+		sums[i] = s
+	}
+	if sums[0] != sums[1] {
+		t.Errorf("parallel %+v != sequential %+v", sums[0], sums[1])
+	}
+	if sums[0].DynConstBitsPc == 0 || sums[0].DynScalarPc == 0 {
+		t.Errorf("vecadd should show constant bits and scalar writes: %+v", sums[0])
+	}
+}
+
+// TestBranchProfilerConvergedKernel: sgemm must report zero divergence
+// (paper Table 1).
+func TestBranchProfilerConvergedKernel(t *testing.T) {
+	var p *handlers.BranchProfiler
+	run(t, "parboil.sgemm", "small", func(ctx *cuda.Context) (*sassi.Handler, sassi.Options) {
+		p = handlers.NewBranchProfiler(ctx)
+		return p.Handler(), p.Options()
+	})
+	s, err := p.Summarize()
+	if err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	if s.DynamicDivergent != 0 {
+		t.Errorf("sgemm reported %d divergent branch executions, want 0", s.DynamicDivergent)
+	}
+	if s.DynamicBranches == 0 {
+		t.Error("sgemm reported no branches at all")
+	}
+}
+
+// TestMemDivCoalescedVsScattered: the ELL kernel must request far fewer
+// unique lines per access than the CSR kernel on the same matrix (the
+// Figure 7/8 contrast).
+func TestMemDivCoalescedVsScattered(t *testing.T) {
+	avg := func(workload string) float64 {
+		var p *handlers.MemDivProfiler
+		run(t, workload, "default", func(ctx *cuda.Context) (*sassi.Handler, sassi.Options) {
+			p = handlers.NewMemDivProfiler(ctx)
+			return p.SequentialHandler(), p.Options()
+		})
+		m, err := p.Matrix()
+		if err != nil {
+			t.Fatalf("matrix: %v", err)
+		}
+		pmf := m.UniqueLinePMF()
+		var mean float64
+		for u, frac := range pmf {
+			mean += float64(u+1) * frac
+		}
+		return mean
+	}
+	csr := avg("minife.csr")
+	ell := avg("minife.ell")
+	t.Logf("mean unique lines per warp access: CSR=%.2f ELL=%.2f", csr, ell)
+	if ell >= csr {
+		t.Errorf("ELL (%.2f) should be less address-divergent than CSR (%.2f)", ell, csr)
+	}
+}

@@ -1,0 +1,136 @@
+package mem
+
+// Coalescer models the warp-level memory access unit: for each warp memory
+// instruction it merges the per-lane addresses into unique cache-line
+// transactions. The number of unique lines touched per warp instruction is
+// the paper's memory address divergence metric (Case Study II).
+type Coalescer struct {
+	// LineBytes is the coalescing granularity. The paper's study uses 32B
+	// sectors; the ablation benches also run 128B.
+	LineBytes uint64
+}
+
+// NewCoalescer returns a coalescer with the given line size (power of two).
+func NewCoalescer(lineBytes uint64) *Coalescer {
+	if lineBytes == 0 || lineBytes&(lineBytes-1) != 0 {
+		panic("mem: coalescer line size must be a power of two")
+	}
+	return &Coalescer{LineBytes: lineBytes}
+}
+
+// Access describes one warp memory instruction presented to the coalescer.
+type Access struct {
+	// Addrs holds the per-lane byte addresses; only lanes with the
+	// corresponding Active bit set participate.
+	Addrs [32]uint64
+	// Active is the warp's active mask for the access.
+	Active uint32
+	// Width is the per-thread access width in bytes.
+	Width int
+	// Store marks the access as a write.
+	Store bool
+}
+
+// Result describes the transactions an access generated.
+type Result struct {
+	// Lines lists the unique line base addresses, in first-touch order.
+	Lines []uint64
+	// NumActive is the number of participating lanes.
+	NumActive int
+}
+
+// UniqueLines returns the number of memory transactions (unique lines).
+func (r Result) UniqueLines() int { return len(r.Lines) }
+
+// Coalesce merges an access into unique line transactions. Accesses wider
+// than the remaining bytes in a line span two lines, as on hardware.
+func (c *Coalescer) Coalesce(a *Access) Result {
+	var res Result
+	mask := c.LineBytes - 1
+	seen := make(map[uint64]struct{}, 8)
+	for lane := 0; lane < 32; lane++ {
+		if a.Active&(1<<lane) == 0 {
+			continue
+		}
+		res.NumActive++
+		first := a.Addrs[lane] &^ mask
+		w := uint64(a.Width)
+		if w == 0 {
+			w = 4
+		}
+		last := (a.Addrs[lane] + w - 1) &^ mask
+		for line := first; ; line += c.LineBytes {
+			if _, dup := seen[line]; !dup {
+				seen[line] = struct{}{}
+				res.Lines = append(res.Lines, line)
+			}
+			if line == last {
+				break
+			}
+		}
+	}
+	return res
+}
+
+// DivergenceMatrix accumulates the paper's Figure 8 statistic: a 32x32
+// lower-triangular matrix of counters where rows are the number of active
+// threads in the warp and columns the number of unique lines requested.
+type DivergenceMatrix struct {
+	Counts [32][32]uint64
+}
+
+// Record tallies one coalesced access.
+func (m *DivergenceMatrix) Record(r Result) {
+	if r.NumActive == 0 {
+		return
+	}
+	u := r.UniqueLines()
+	if u == 0 {
+		return
+	}
+	if u > 32 {
+		u = 32 // multi-line wide accesses can exceed 32; clamp for the plot
+	}
+	m.Counts[r.NumActive-1][u-1]++
+}
+
+// Merge adds o into m.
+func (m *DivergenceMatrix) Merge(o *DivergenceMatrix) {
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			m.Counts[i][j] += o.Counts[i][j]
+		}
+	}
+}
+
+// TotalAccesses returns the number of recorded warp accesses.
+func (m *DivergenceMatrix) TotalAccesses() uint64 {
+	var n uint64
+	for i := range m.Counts {
+		for j := range m.Counts[i] {
+			n += m.Counts[i][j]
+		}
+	}
+	return n
+}
+
+// UniqueLinePMF computes the paper's Figure 7 distribution: the fraction of
+// *thread-level* accesses issued from warp instructions that requested N
+// unique lines, for N in 1..32 (index 0 holds N=1).
+func (m *DivergenceMatrix) UniqueLinePMF() [32]float64 {
+	var pmf [32]float64
+	var total float64
+	for act := 0; act < 32; act++ {
+		for uniq := 0; uniq < 32; uniq++ {
+			threads := float64(act+1) * float64(m.Counts[act][uniq])
+			pmf[uniq] += threads
+			total += threads
+		}
+	}
+	if total > 0 {
+		for i := range pmf {
+			pmf[i] /= total
+		}
+	}
+	return pmf
+}

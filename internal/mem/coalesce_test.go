@@ -1,0 +1,173 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func fullMask() uint32 { return 0xffffffff }
+
+func TestCoalesceSameLine(t *testing.T) {
+	c := NewCoalescer(32)
+	var a Access
+	a.Active = fullMask()
+	a.Width = 1
+	for i := range a.Addrs {
+		a.Addrs[i] = GlobalBase + uint64(i%32) // all within one 32B line
+	}
+	r := c.Coalesce(&a)
+	if r.UniqueLines() != 1 || r.NumActive != 32 {
+		t.Errorf("unique=%d active=%d, want 1/32", r.UniqueLines(), r.NumActive)
+	}
+}
+
+func TestCoalesceUnitStride(t *testing.T) {
+	c := NewCoalescer(32)
+	var a Access
+	a.Active = fullMask()
+	a.Width = 4
+	for i := range a.Addrs {
+		a.Addrs[i] = GlobalBase + uint64(4*i)
+	}
+	r := c.Coalesce(&a)
+	// 32 threads x 4B = 128B = four 32B lines.
+	if r.UniqueLines() != 4 {
+		t.Errorf("unique = %d, want 4", r.UniqueLines())
+	}
+}
+
+func TestCoalesceFullyDiverged(t *testing.T) {
+	c := NewCoalescer(32)
+	var a Access
+	a.Active = fullMask()
+	a.Width = 4
+	for i := range a.Addrs {
+		a.Addrs[i] = GlobalBase + uint64(i)*4096
+	}
+	r := c.Coalesce(&a)
+	if r.UniqueLines() != 32 {
+		t.Errorf("unique = %d, want 32", r.UniqueLines())
+	}
+}
+
+func TestCoalescePartialMask(t *testing.T) {
+	c := NewCoalescer(32)
+	var a Access
+	a.Active = 0x5 // lanes 0 and 2
+	a.Width = 4
+	a.Addrs[0] = GlobalBase
+	a.Addrs[2] = GlobalBase + 1024
+	a.Addrs[1] = GlobalBase + 999999 // inactive, must be ignored
+	r := c.Coalesce(&a)
+	if r.UniqueLines() != 2 || r.NumActive != 2 {
+		t.Errorf("unique=%d active=%d", r.UniqueLines(), r.NumActive)
+	}
+}
+
+func TestCoalesceCrossLineAccess(t *testing.T) {
+	c := NewCoalescer(32)
+	var a Access
+	a.Active = 1
+	a.Width = 8
+	a.Addrs[0] = GlobalBase + 28 // 8B access starting 4B before a line end
+	r := c.Coalesce(&a)
+	if r.UniqueLines() != 2 {
+		t.Errorf("straddling access: unique = %d, want 2", r.UniqueLines())
+	}
+}
+
+func TestCoalesceZeroWidthDefaults(t *testing.T) {
+	c := NewCoalescer(32)
+	var a Access
+	a.Active = 1
+	a.Addrs[0] = GlobalBase
+	r := c.Coalesce(&a)
+	if r.UniqueLines() != 1 {
+		t.Errorf("unique = %d", r.UniqueLines())
+	}
+}
+
+func TestCoalescerRejectsBadLineSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two line size accepted")
+		}
+	}()
+	NewCoalescer(48)
+}
+
+// TestCoalesceQuickAgainstReference compares the coalescer with a naive
+// set-based reference over random accesses.
+func TestCoalesceQuickAgainstReference(t *testing.T) {
+	c := NewCoalescer(32)
+	f := func(offsets [32]uint16, mask uint32, wsel uint8) bool {
+		width := []int{1, 2, 4, 8, 16}[int(wsel)%5]
+		var a Access
+		a.Active = mask
+		a.Width = width
+		ref := map[uint64]bool{}
+		refActive := 0
+		for lane := 0; lane < 32; lane++ {
+			a.Addrs[lane] = GlobalBase + uint64(offsets[lane])
+			if mask&(1<<lane) == 0 {
+				continue
+			}
+			refActive++
+			for b := uint64(0); b < uint64(width); b++ {
+				ref[(a.Addrs[lane]+b)&^31] = true
+			}
+		}
+		r := c.Coalesce(&a)
+		return r.UniqueLines() == len(ref) && r.NumActive == refActive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivergenceMatrixPMF(t *testing.T) {
+	var m DivergenceMatrix
+	// 10 accesses: 32 active, 1 unique (fully coalesced).
+	for i := 0; i < 10; i++ {
+		m.Record(Result{Lines: []uint64{1}, NumActive: 32})
+	}
+	// 5 accesses: 32 active, 32 unique (fully diverged).
+	for i := 0; i < 5; i++ {
+		lines := make([]uint64, 32)
+		for j := range lines {
+			lines[j] = uint64(j)
+		}
+		m.Record(Result{Lines: lines, NumActive: 32})
+	}
+	pmf := m.UniqueLinePMF()
+	// Thread-weighted: 10*32 threads at N=1, 5*32 threads at N=32.
+	if math.Abs(pmf[0]-10.0/15.0) > 1e-9 {
+		t.Errorf("pmf[0] = %f, want %f", pmf[0], 10.0/15.0)
+	}
+	if math.Abs(pmf[31]-5.0/15.0) > 1e-9 {
+		t.Errorf("pmf[31] = %f", pmf[31])
+	}
+	if m.TotalAccesses() != 15 {
+		t.Errorf("total = %d", m.TotalAccesses())
+	}
+}
+
+func TestDivergenceMatrixIgnoresEmpty(t *testing.T) {
+	var m DivergenceMatrix
+	m.Record(Result{})
+	if m.TotalAccesses() != 0 {
+		t.Error("empty access recorded")
+	}
+}
+
+func TestDivergenceMatrixMerge(t *testing.T) {
+	var a, b DivergenceMatrix
+	a.Counts[3][2] = 7
+	b.Counts[3][2] = 5
+	b.Counts[0][0] = 1
+	a.Merge(&b)
+	if a.Counts[3][2] != 12 || a.Counts[0][0] != 1 {
+		t.Error("merge wrong")
+	}
+}

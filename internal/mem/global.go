@@ -1,0 +1,241 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+const pageShift = 16 // 64 KiB pages
+const pageSize = 1 << pageShift
+
+// Global is device (global) memory: a sparse paged byte store with a bump
+// allocator and allocation tracking. Accesses outside any live allocation
+// fault, which is how the simulator detects wild pointers.
+//
+// Global is safe for concurrent use: instrumentation handlers execute one
+// goroutine per warp lane and update counters in device memory with atomics.
+type Global struct {
+	mu     sync.Mutex
+	pages  map[uint64]*[pageSize]byte
+	next   uint64
+	allocs []allocation // sorted by base
+	strict bool
+}
+
+type allocation struct {
+	base uint64
+	size uint64
+	name string
+}
+
+// NewGlobal returns an empty device memory with strict bounds checking.
+func NewGlobal() *Global {
+	return &Global{pages: make(map[uint64]*[pageSize]byte), next: GlobalBase, strict: true}
+}
+
+// SetStrictBounds selects the access-checking model. Strict mode faults on
+// any access outside an exact allocation — best for catching workload bugs.
+// Lenient mode only faults outside the allocated heap range, modeling real
+// GPUs where the allocator maps allocations contiguously and a corrupted
+// pointer usually lands in *some* mapped page (so fault-injection campaigns
+// see silent corruption rather than a fault, as on hardware).
+func (g *Global) SetStrictBounds(strict bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.strict = strict
+}
+
+// Alloc reserves size bytes of device memory and returns its base address.
+// Allocations are 256-byte aligned, like cudaMalloc.
+func (g *Global) Alloc(size uint64, name string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if size == 0 {
+		size = 1
+	}
+	base := (g.next + 255) &^ 255
+	g.next = base + size
+	g.allocs = append(g.allocs, allocation{base: base, size: size, name: name})
+	return base
+}
+
+// findAlloc validates [addr, addr+n) against the checking model.
+// Callers hold g.mu.
+func (g *Global) findAlloc(addr, n uint64) error {
+	if !g.strict {
+		// Model a multi-GiB mapped heap (Tesla-class boards): anything in
+		// the 4 GiB window above the heap base is considered mapped, so
+		// low-half pointer corruption reads/writes stray data instead of
+		// faulting; only high-half corruption leaves the window.
+		if addr >= GlobalBase && addr+n <= GlobalBase+(4<<30) {
+			return nil
+		}
+		return &Fault{Space: SpaceGlobal, Addr: addr, Why: "address outside the device heap"}
+	}
+	i := sort.Search(len(g.allocs), func(i int) bool {
+		return g.allocs[i].base+g.allocs[i].size > addr
+	})
+	if i < len(g.allocs) && g.allocs[i].base <= addr && addr+n <= g.allocs[i].base+g.allocs[i].size {
+		return nil
+	}
+	return &Fault{Space: SpaceGlobal, Addr: addr, Why: "address outside any allocation"}
+}
+
+// page returns the page backing addr, creating it if needed. Callers hold g.mu.
+func (g *Global) page(addr uint64) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := g.pages[pn]
+	if p == nil {
+		p = new([pageSize]byte)
+		g.pages[pn] = p
+	}
+	return p
+}
+
+func (g *Global) readLocked(addr uint64, buf []byte) error {
+	if err := g.findAlloc(addr, uint64(len(buf))); err != nil {
+		f := err.(*Fault)
+		f.Write = false
+		return f
+	}
+	for len(buf) > 0 {
+		off := addr & (pageSize - 1)
+		var n int
+		// Reads of never-written pages return zeros without materializing
+		// the page (keeps lenient-mode stray reads cheap).
+		if p := g.pages[addr>>pageShift]; p != nil {
+			n = copy(buf, p[off:])
+		} else {
+			n = len(buf)
+			if rem := pageSize - int(off); rem < n {
+				n = rem
+			}
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+func (g *Global) writeLocked(addr uint64, data []byte) error {
+	if err := g.findAlloc(addr, uint64(len(data))); err != nil {
+		f := err.(*Fault)
+		f.Write = true
+		return f
+	}
+	for len(data) > 0 {
+		p := g.page(addr)
+		off := addr & (pageSize - 1)
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Read copies device memory into buf, faulting on unmapped addresses.
+func (g *Global) Read(addr uint64, buf []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.readLocked(addr, buf)
+}
+
+// Write copies buf into device memory, faulting on unmapped addresses.
+func (g *Global) Write(addr uint64, data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.writeLocked(addr, data)
+}
+
+// Read32 loads a 32-bit word.
+func (g *Global) Read32(addr uint64) (uint32, error) {
+	var b [4]byte
+	if err := g.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// Write32 stores a 32-bit word.
+func (g *Global) Write32(addr uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return g.Write(addr, b[:])
+}
+
+// Read64 loads a 64-bit word.
+func (g *Global) Read64(addr uint64) (uint64, error) {
+	var b [8]byte
+	if err := g.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Write64 stores a 64-bit word.
+func (g *Global) Write64(addr uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return g.Write(addr, b[:])
+}
+
+// Atomic32 applies f to the 32-bit word at addr under the memory lock and
+// returns the old value.
+func (g *Global) Atomic32(addr uint64, f func(old uint32) uint32) (uint32, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var b [4]byte
+	if err := g.readLocked(addr, b[:]); err != nil {
+		return 0, err
+	}
+	old := binary.LittleEndian.Uint32(b[:])
+	binary.LittleEndian.PutUint32(b[:], f(old))
+	if err := g.writeLocked(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// Atomic64 applies f to the 64-bit word at addr under the memory lock and
+// returns the old value.
+func (g *Global) Atomic64(addr uint64, f func(old uint64) uint64) (uint64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var b [8]byte
+	if err := g.readLocked(addr, b[:]); err != nil {
+		return 0, err
+	}
+	old := binary.LittleEndian.Uint64(b[:])
+	binary.LittleEndian.PutUint64(b[:], f(old))
+	if err := g.writeLocked(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+// Footprint returns the total bytes currently allocated.
+func (g *Global) Footprint() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n uint64
+	for _, a := range g.allocs {
+		n += a.size
+	}
+	return n
+}
+
+// Describe returns a human-readable allocation map (debugging aid).
+func (g *Global) Describe() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := ""
+	for _, a := range g.allocs {
+		s += fmt.Sprintf("[0x%x,0x%x) %s (%d bytes)\n", a.base, a.base+a.size, a.name, a.size)
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package mem
+
+import "encoding/binary"
+
+// Shared is one CTA's shared-memory scratchpad.
+type Shared struct {
+	data []byte
+}
+
+// NewShared returns a scratchpad of the given size.
+func NewShared(size int) *Shared { return &Shared{data: make([]byte, size)} }
+
+// Size returns the scratchpad capacity in bytes.
+func (s *Shared) Size() int { return len(s.data) }
+
+func (s *Shared) check(off uint64, n int, write bool) error {
+	if off+uint64(n) > uint64(len(s.data)) {
+		return &Fault{Space: SpaceShared, Addr: SharedBase + off, Write: write,
+			Why: "offset beyond CTA shared allocation"}
+	}
+	return nil
+}
+
+// Read copies shared memory into buf.
+func (s *Shared) Read(off uint64, buf []byte) error {
+	if err := s.check(off, len(buf), false); err != nil {
+		return err
+	}
+	copy(buf, s.data[off:])
+	return nil
+}
+
+// Write copies buf into shared memory.
+func (s *Shared) Write(off uint64, data []byte) error {
+	if err := s.check(off, len(data), true); err != nil {
+		return err
+	}
+	copy(s.data[off:], data)
+	return nil
+}
+
+// Read32 loads a 32-bit word at byte offset off.
+func (s *Shared) Read32(off uint64) (uint32, error) {
+	if err := s.check(off, 4, false); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(s.data[off:]), nil
+}
+
+// Write32 stores a 32-bit word at byte offset off.
+func (s *Shared) Write32(off uint64, v uint32) error {
+	if err := s.check(off, 4, true); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(s.data[off:], v)
+	return nil
+}
+
+// Local is one thread's local memory: its stack (spills, instrumentation
+// frames, parameter objects) plus compiler-allocated local arrays.
+//
+// The stack pointer register (R1 by ABI) holds a byte offset within this
+// space; the generic-space view of a local address is LocalBase+offset.
+type Local struct {
+	data []byte
+}
+
+// NewLocal returns a thread-local memory of the given size. The stack
+// pointer starts at Size (the stack grows down).
+func NewLocal(size int) *Local { return &Local{data: make([]byte, size)} }
+
+// Size returns the local memory capacity in bytes.
+func (l *Local) Size() int { return len(l.data) }
+
+func (l *Local) check(off uint64, n int, write bool) error {
+	if off+uint64(n) > uint64(len(l.data)) {
+		return &Fault{Space: SpaceLocal, Addr: LocalBase + off, Write: write,
+			Why: "local access beyond per-thread allocation (stack overflow?)"}
+	}
+	return nil
+}
+
+// Read copies local memory into buf.
+func (l *Local) Read(off uint64, buf []byte) error {
+	if err := l.check(off, len(buf), false); err != nil {
+		return err
+	}
+	copy(buf, l.data[off:])
+	return nil
+}
+
+// Write copies buf into local memory.
+func (l *Local) Write(off uint64, data []byte) error {
+	if err := l.check(off, len(data), true); err != nil {
+		return err
+	}
+	copy(l.data[off:], data)
+	return nil
+}
+
+// Read32 loads a 32-bit word at byte offset off.
+func (l *Local) Read32(off uint64) (uint32, error) {
+	if err := l.check(off, 4, false); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(l.data[off:]), nil
+}
+
+// Write32 stores a 32-bit word at byte offset off.
+func (l *Local) Write32(off uint64, v uint32) error {
+	if err := l.check(off, 4, true); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(l.data[off:], v)
+	return nil
+}

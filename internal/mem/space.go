@@ -1,0 +1,98 @@
+// Package mem models the GPU memory system: global device memory with an
+// allocator and access validation, per-CTA shared memory, per-thread local
+// (stack) memory, a generic address space that windows all three, a warp
+// coalescer, set-associative caches, and a DRAM latency/bandwidth model.
+//
+// The generic address layout mirrors NVIDIA GPUs, where local and shared
+// memory are reachable through fixed windows of the generic space so that
+// a single LD/ST opcode can address any space:
+//
+//	[LocalBase,  LocalBase+WindowSize)   per-thread local window
+//	[SharedBase, SharedBase+WindowSize)  per-CTA shared window
+//	[GlobalBase, ...)                    global device memory
+//
+// Addresses below LocalBase and between the windows are unmapped; accessing
+// them raises a memory fault, which the fault-injection study (Case Study
+// IV) relies on to detect crashes from corrupted pointers.
+package mem
+
+import "fmt"
+
+// Space identifies a memory space.
+type Space uint8
+
+// Memory spaces.
+const (
+	SpaceInvalid Space = iota
+	SpaceGlobal
+	SpaceShared
+	SpaceLocal
+	SpaceConst
+)
+
+var spaceNames = [...]string{"invalid", "global", "shared", "local", "const"}
+
+func (s Space) String() string {
+	if int(s) < len(spaceNames) {
+		return spaceNames[s]
+	}
+	return fmt.Sprintf("space(%d)", uint8(s))
+}
+
+// Generic address window layout.
+const (
+	// LocalBase is the generic-space base of the per-thread local window.
+	LocalBase uint64 = 0x0100_0000
+	// SharedBase is the generic-space base of the per-CTA shared window.
+	SharedBase uint64 = 0x0200_0000
+	// WindowSize is the size of the local and shared windows.
+	WindowSize uint64 = 0x0100_0000
+	// GlobalBase is the lowest global device memory address the allocator
+	// hands out.
+	GlobalBase uint64 = 0x1_0000_0000
+)
+
+// Decode classifies a generic address and returns the space-relative offset.
+func Decode(addr uint64) (Space, uint64) {
+	switch {
+	case addr >= GlobalBase:
+		return SpaceGlobal, addr
+	case addr >= SharedBase && addr < SharedBase+WindowSize:
+		return SpaceShared, addr - SharedBase
+	case addr >= LocalBase && addr < LocalBase+WindowSize:
+		return SpaceLocal, addr - LocalBase
+	default:
+		return SpaceInvalid, 0
+	}
+}
+
+// IsGlobal reports whether a generic address refers to global memory
+// (the handler-visible analog of CUDA's __isGlobal).
+func IsGlobal(addr uint64) bool { return addr >= GlobalBase }
+
+// IsShared reports whether a generic address refers to shared memory.
+func IsShared(addr uint64) bool {
+	return addr >= SharedBase && addr < SharedBase+WindowSize
+}
+
+// IsLocal reports whether a generic address refers to local memory.
+func IsLocal(addr uint64) bool {
+	return addr >= LocalBase && addr < LocalBase+WindowSize
+}
+
+// Fault describes an invalid memory access. It is the simulator's analog
+// of an Xid/illegal-address error that kills a kernel on real hardware.
+type Fault struct {
+	Space Space
+	Addr  uint64
+	Write bool
+	Why   string
+}
+
+func (f *Fault) Error() string {
+	kind := "load"
+	if f.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("memory fault: illegal %s %s at 0x%x: %s", f.Space, kind, f.Addr, f.Why)
+}

@@ -1,0 +1,587 @@
+package ptx
+
+import (
+	"fmt"
+	"math"
+
+	"sassi/internal/sass"
+)
+
+// Builder is the kernel-authoring API: the front-end-compiler analog. It
+// provides typed value construction and structured control flow (If, While)
+// that lowers to the SSY/SYNC divergence idioms the hardware expects.
+//
+// Builder methods panic on type errors; kernel construction is programmer
+// code, not input handling.
+type Builder struct {
+	F      *Func
+	labelN int
+}
+
+// NewKernel starts building a kernel.
+func NewKernel(name string) *Builder {
+	return &Builder{F: NewFunc(name)}
+}
+
+func (b *Builder) label(prefix string) string {
+	b.labelN++
+	return fmt.Sprintf(".%s_%d", prefix, b.labelN)
+}
+
+func (b *Builder) typeOf(v Value) Type { return b.F.TypeOf(v) }
+
+func (b *Builder) want(v Value, what string, types ...Type) {
+	t := b.typeOf(v)
+	for _, ok := range types {
+		if t == ok {
+			return
+		}
+	}
+	panic(fmt.Sprintf("ptx: %s: operand %s has type %s, want one of %v", what, v, t, types))
+}
+
+func (b *Builder) sameInt(a, c Value, what string) Type {
+	ta, tc := b.typeOf(a), b.typeOf(c)
+	if ta != tc {
+		panic(fmt.Sprintf("ptx: %s: mixed types %s and %s", what, ta, tc))
+	}
+	if ta != TU32 && ta != TS32 && ta != TU64 {
+		panic(fmt.Sprintf("ptx: %s: want integer type, got %s", what, ta))
+	}
+	return ta
+}
+
+// Parameters and constants.
+
+// ParamU64 declares a 64-bit (pointer) kernel parameter and loads it.
+func (b *Builder) ParamU64(name string) Value {
+	b.F.AddParam(name, 8)
+	d := b.F.NewValue(TU64)
+	b.F.Emit(Instr{Op: OpLdParam, Type: TU64, Dst: d, Param: name})
+	return d
+}
+
+// ParamU32 declares a 32-bit kernel parameter and loads it.
+func (b *Builder) ParamU32(name string) Value {
+	b.F.AddParam(name, 4)
+	d := b.F.NewValue(TU32)
+	b.F.Emit(Instr{Op: OpLdParam, Type: TU32, Dst: d, Param: name})
+	return d
+}
+
+// ParamS32 declares a signed 32-bit kernel parameter and loads it.
+func (b *Builder) ParamS32(name string) Value {
+	b.F.AddParam(name, 4)
+	d := b.F.NewValue(TS32)
+	b.F.Emit(Instr{Op: OpLdParam, Type: TS32, Dst: d, Param: name})
+	return d
+}
+
+// ParamF32 declares a float kernel parameter and loads it.
+func (b *Builder) ParamF32(name string) Value {
+	b.F.AddParam(name, 4)
+	d := b.F.NewValue(TF32)
+	b.F.Emit(Instr{Op: OpLdParam, Type: TF32, Dst: d, Param: name})
+	return d
+}
+
+func (b *Builder) imm(t Type, v int64) Value {
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpMov, Type: t, Dst: d, Imm: v, HasImm: true})
+	return d
+}
+
+// ImmU32 materializes an unsigned 32-bit constant.
+func (b *Builder) ImmU32(v uint32) Value { return b.imm(TU32, int64(v)) }
+
+// ImmS32 materializes a signed 32-bit constant.
+func (b *Builder) ImmS32(v int32) Value { return b.imm(TS32, int64(v)) }
+
+// ImmU64 materializes a 64-bit constant.
+func (b *Builder) ImmU64(v uint64) Value { return b.imm(TU64, int64(v)) }
+
+// ImmF32 materializes a float constant.
+func (b *Builder) ImmF32(v float32) Value {
+	return b.imm(TF32, int64(int32(math.Float32bits(v))))
+}
+
+// Special registers.
+
+func (b *Builder) sreg(sr sass.SpecialReg) Value {
+	d := b.F.NewValue(TU32)
+	b.F.Emit(Instr{Op: OpSreg, Type: TU32, Dst: d, SR: sr})
+	return d
+}
+
+// TidX returns threadIdx.x.
+func (b *Builder) TidX() Value { return b.sreg(sass.SRTidX) }
+
+// TidY returns threadIdx.y.
+func (b *Builder) TidY() Value { return b.sreg(sass.SRTidY) }
+
+// CtaX returns blockIdx.x.
+func (b *Builder) CtaX() Value { return b.sreg(sass.SRCtaidX) }
+
+// CtaY returns blockIdx.y.
+func (b *Builder) CtaY() Value { return b.sreg(sass.SRCtaidY) }
+
+// NTidX returns blockDim.x.
+func (b *Builder) NTidX() Value { return b.sreg(sass.SRNTidX) }
+
+// NCtaX returns gridDim.x.
+func (b *Builder) NCtaX() Value { return b.sreg(sass.SRNCtaidX) }
+
+// LaneID returns the lane index within the warp.
+func (b *Builder) LaneID() Value { return b.sreg(sass.SRLaneID) }
+
+// GlobalTidX computes blockIdx.x*blockDim.x + threadIdx.x.
+func (b *Builder) GlobalTidX() Value {
+	return b.Mad(b.CtaX(), b.NTidX(), b.TidX())
+}
+
+// Variables and assignment (non-SSA mutation for loop counters).
+
+// Var allocates a mutable value initialized from init.
+func (b *Builder) Var(init Value) Value {
+	t := b.typeOf(init)
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpMov, Type: t, Dst: d, A: init})
+	return d
+}
+
+// Assign overwrites dst with src (same type).
+func (b *Builder) Assign(dst, src Value) {
+	if b.typeOf(dst) != b.typeOf(src) {
+		panic(fmt.Sprintf("ptx: assign: %s <- %s type mismatch", b.typeOf(dst), b.typeOf(src)))
+	}
+	b.F.Emit(Instr{Op: OpMov, Type: b.typeOf(dst), Dst: dst, A: src})
+}
+
+// Arithmetic. Result type follows the first operand.
+
+func (b *Builder) bin(op Op, a, c Value) Value {
+	t := b.typeOf(a)
+	if tc := b.typeOf(c); tc != t {
+		panic(fmt.Sprintf("ptx: %s: mixed operand types %s and %s", op, t, tc))
+	}
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: op, Type: t, Dst: d, A: a, B: c})
+	return d
+}
+
+func (b *Builder) binI(op Op, a Value, imm int64) Value {
+	t := b.typeOf(a)
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: op, Type: t, Dst: d, A: a, Imm: imm, HasImm: true})
+	return d
+}
+
+// Add returns a+c.
+func (b *Builder) Add(a, c Value) Value { return b.bin(OpAdd, a, c) }
+
+// AddI returns a+imm.
+func (b *Builder) AddI(a Value, imm int64) Value { return b.binI(OpAdd, a, imm) }
+
+// Sub returns a-c.
+func (b *Builder) Sub(a, c Value) Value { return b.bin(OpSub, a, c) }
+
+// SubI returns a-imm.
+func (b *Builder) SubI(a Value, imm int64) Value { return b.binI(OpAdd, a, -imm) }
+
+// Mul returns a*c (low 32 bits for integers).
+func (b *Builder) Mul(a, c Value) Value { return b.bin(OpMul, a, c) }
+
+// MulI returns a*imm.
+func (b *Builder) MulI(a Value, imm int64) Value { return b.binI(OpMul, a, imm) }
+
+// Mad returns a*c+d.
+func (b *Builder) Mad(a, c, d Value) Value {
+	t := b.typeOf(a)
+	if b.typeOf(c) != t || b.typeOf(d) != t {
+		panic(fmt.Sprintf("ptx: mad: mixed operand types %s, %s, %s", t, b.typeOf(c), b.typeOf(d)))
+	}
+	r := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpMad, Type: t, Dst: r, A: a, B: c, C: d})
+	return r
+}
+
+// Min returns min(a,c) honoring signedness.
+func (b *Builder) Min(a, c Value) Value { return b.bin(OpMin, a, c) }
+
+// Max returns max(a,c) honoring signedness.
+func (b *Builder) Max(a, c Value) Value { return b.bin(OpMax, a, c) }
+
+// And returns a&c.
+func (b *Builder) And(a, c Value) Value { return b.bin(OpAnd, a, c) }
+
+// AndI returns a&imm.
+func (b *Builder) AndI(a Value, imm int64) Value { return b.binI(OpAnd, a, imm) }
+
+// Or returns a|c.
+func (b *Builder) Or(a, c Value) Value { return b.bin(OpOr, a, c) }
+
+// Xor returns a^c.
+func (b *Builder) Xor(a, c Value) Value { return b.bin(OpXor, a, c) }
+
+// XorI returns a^imm.
+func (b *Builder) XorI(a Value, imm int64) Value { return b.binI(OpXor, a, imm) }
+
+// Not returns ^a.
+func (b *Builder) Not(a Value) Value {
+	t := b.typeOf(a)
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpNot, Type: t, Dst: d, A: a})
+	return d
+}
+
+// Shl returns a<<c.
+func (b *Builder) Shl(a, c Value) Value { return b.bin(OpShl, a, c) }
+
+// ShlI returns a<<imm.
+func (b *Builder) ShlI(a Value, imm int64) Value { return b.binI(OpShl, a, imm) }
+
+// Shr returns a>>c (arithmetic when a is signed).
+func (b *Builder) Shr(a, c Value) Value { return b.bin(OpShr, a, c) }
+
+// ShrI returns a>>imm.
+func (b *Builder) ShrI(a Value, imm int64) Value { return b.binI(OpShr, a, imm) }
+
+// Predicates.
+
+// Setp compares a and c, returning a predicate.
+func (b *Builder) Setp(cmp sass.CmpOp, a, c Value) Value {
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpSetp, Type: b.typeOf(a), Cmp: cmp, Dst: d, A: a, B: c})
+	return d
+}
+
+// SetpI compares a against an immediate.
+func (b *Builder) SetpI(cmp sass.CmpOp, a Value, imm int64) Value {
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpSetp, Type: b.typeOf(a), Cmp: cmp, Dst: d, A: a, Imm: imm, HasImm: true})
+	return d
+}
+
+// PAnd returns a&&c for predicates.
+func (b *Builder) PAnd(a, c Value) Value {
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpPAnd, Type: TPred, Dst: d, A: a, B: c})
+	return d
+}
+
+// POr returns a||c for predicates.
+func (b *Builder) POr(a, c Value) Value {
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpPOr, Type: TPred, Dst: d, A: a, B: c})
+	return d
+}
+
+// PNot returns !a for a predicate.
+func (b *Builder) PNot(a Value) Value {
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpPNot, Type: TPred, Dst: d, A: a})
+	return d
+}
+
+// Sel returns pred ? a : c.
+func (b *Builder) Sel(pred, a, c Value) Value {
+	b.want(pred, "sel", TPred)
+	t := b.typeOf(a)
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpSel, Type: t, Dst: d, A: a, B: c, C: pred})
+	return d
+}
+
+// Conversions.
+
+// CvtU64 widens a 32-bit value to 64 bits (zero extension).
+func (b *Builder) CvtU64(a Value) Value {
+	b.want(a, "cvt.u64", TU32, TS32)
+	d := b.F.NewValue(TU64)
+	b.F.Emit(Instr{Op: OpCvt, Type: TU64, SrcType: b.typeOf(a), Dst: d, A: a})
+	return d
+}
+
+// CvtF32 converts an integer to float.
+func (b *Builder) CvtF32(a Value) Value {
+	b.want(a, "cvt.f32", TU32, TS32)
+	d := b.F.NewValue(TF32)
+	b.F.Emit(Instr{Op: OpCvt, Type: TF32, SrcType: b.typeOf(a), Dst: d, A: a})
+	return d
+}
+
+// CvtS32 truncates a float to a signed integer.
+func (b *Builder) CvtS32(a Value) Value {
+	b.want(a, "cvt.s32", TF32)
+	d := b.F.NewValue(TS32)
+	b.F.Emit(Instr{Op: OpCvt, Type: TS32, SrcType: TF32, Dst: d, A: a})
+	return d
+}
+
+// AsU32 reinterprets a value as unsigned (no code emitted at SASS level).
+func (b *Builder) AsU32(a Value) Value {
+	d := b.F.NewValue(TU32)
+	b.F.Emit(Instr{Op: OpMov, Type: TU32, Dst: d, A: a})
+	return d
+}
+
+// AsS32 reinterprets a value as signed.
+func (b *Builder) AsS32(a Value) Value {
+	d := b.F.NewValue(TS32)
+	b.F.Emit(Instr{Op: OpMov, Type: TS32, Dst: d, A: a})
+	return d
+}
+
+// Float special functions.
+
+func (b *Builder) mufu(f sass.MufuFunc, a Value) Value {
+	b.want(a, "mufu", TF32)
+	d := b.F.NewValue(TF32)
+	b.F.Emit(Instr{Op: OpMufu, Type: TF32, Mufu: f, Dst: d, A: a})
+	return d
+}
+
+// Rcp returns 1/a.
+func (b *Builder) Rcp(a Value) Value { return b.mufu(sass.MufuRCP, a) }
+
+// Sqrt returns sqrt(a).
+func (b *Builder) Sqrt(a Value) Value { return b.mufu(sass.MufuSQRT, a) }
+
+// Rsq returns 1/sqrt(a).
+func (b *Builder) Rsq(a Value) Value { return b.mufu(sass.MufuRSQ, a) }
+
+// Sin returns sin(a).
+func (b *Builder) Sin(a Value) Value { return b.mufu(sass.MufuSIN, a) }
+
+// Cos returns cos(a).
+func (b *Builder) Cos(a Value) Value { return b.mufu(sass.MufuCOS, a) }
+
+// Ex2 returns 2**a.
+func (b *Builder) Ex2(a Value) Value { return b.mufu(sass.MufuEX2, a) }
+
+// Lg2 returns log2(a).
+func (b *Builder) Lg2(a Value) Value { return b.mufu(sass.MufuLG2, a) }
+
+// Fma returns a*c+d for floats.
+func (b *Builder) Fma(a, c, d Value) Value {
+	b.want(a, "fma", TF32)
+	r := b.F.NewValue(TF32)
+	b.F.Emit(Instr{Op: OpFma, Type: TF32, Dst: r, A: a, B: c, C: d})
+	return r
+}
+
+// Memory.
+
+// Index computes base + (idx << elemShift) as a 64-bit address.
+func (b *Builder) Index(base, idx Value, elemShift uint) Value {
+	b.want(base, "index base", TU64)
+	b.want(idx, "index", TU32, TS32)
+	scaled := idx
+	if elemShift > 0 {
+		scaled = b.ShlI(b.AsU32(idx), int64(elemShift))
+	} else {
+		scaled = b.AsU32(idx)
+	}
+	return b.Add(base, b.CvtU64(scaled))
+}
+
+func (b *Builder) ld(space Space, t Type, width int, addr Value, off int64) Value {
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpLd, Type: t, Space: space, Width: width, Dst: d, A: addr, Imm: off})
+	return d
+}
+
+func (b *Builder) st(space Space, t Type, width int, addr Value, off int64, v Value) {
+	b.F.Emit(Instr{Op: OpSt, Type: t, Space: space, Width: width, A: addr, B: v, Imm: off})
+}
+
+// LdGlobalU32 loads a u32 from global memory at addr+off.
+func (b *Builder) LdGlobalU32(addr Value, off int64) Value {
+	b.want(addr, "ld.global", TU64)
+	return b.ld(SpGlobal, TU32, 4, addr, off)
+}
+
+// LdGlobalS32 loads an s32 from global memory.
+func (b *Builder) LdGlobalS32(addr Value, off int64) Value {
+	b.want(addr, "ld.global", TU64)
+	return b.ld(SpGlobal, TS32, 4, addr, off)
+}
+
+// LdGlobalF32 loads an f32 from global memory.
+func (b *Builder) LdGlobalF32(addr Value, off int64) Value {
+	b.want(addr, "ld.global", TU64)
+	return b.ld(SpGlobal, TF32, 4, addr, off)
+}
+
+// LdGlobalU8 loads a byte (zero-extended).
+func (b *Builder) LdGlobalU8(addr Value, off int64) Value {
+	b.want(addr, "ld.global.u8", TU64)
+	return b.ld(SpGlobal, TU32, 1, addr, off)
+}
+
+// StGlobalU32 stores a u32 to global memory.
+func (b *Builder) StGlobalU32(addr Value, off int64, v Value) {
+	b.want(addr, "st.global", TU64)
+	b.st(SpGlobal, TU32, 4, addr, off, v)
+}
+
+// StGlobalF32 stores an f32 to global memory.
+func (b *Builder) StGlobalF32(addr Value, off int64, v Value) {
+	b.want(addr, "st.global", TU64)
+	b.st(SpGlobal, TF32, 4, addr, off, v)
+}
+
+// StGlobalU8 stores the low byte of v.
+func (b *Builder) StGlobalU8(addr Value, off int64, v Value) {
+	b.want(addr, "st.global.u8", TU64)
+	b.st(SpGlobal, TU32, 1, addr, off, v)
+}
+
+// LdSharedU32 loads a u32 from CTA shared memory at byte offset addr+off.
+func (b *Builder) LdSharedU32(addr Value, off int64) Value {
+	b.want(addr, "ld.shared", TU32, TS32)
+	return b.ld(SpShared, TU32, 4, addr, off)
+}
+
+// LdSharedF32 loads an f32 from CTA shared memory.
+func (b *Builder) LdSharedF32(addr Value, off int64) Value {
+	b.want(addr, "ld.shared", TU32, TS32)
+	return b.ld(SpShared, TF32, 4, addr, off)
+}
+
+// StSharedU32 stores a u32 to CTA shared memory.
+func (b *Builder) StSharedU32(addr Value, off int64, v Value) {
+	b.want(addr, "st.shared", TU32, TS32)
+	b.st(SpShared, TU32, 4, addr, off, v)
+}
+
+// StSharedF32 stores an f32 to CTA shared memory.
+func (b *Builder) StSharedF32(addr Value, off int64, v Value) {
+	b.want(addr, "st.shared", TU32, TS32)
+	b.st(SpShared, TF32, 4, addr, off, v)
+}
+
+// AtomAddGlobal atomically adds v at addr+off, returning the old value.
+func (b *Builder) AtomAddGlobal(addr Value, off int64, v Value) Value {
+	b.want(addr, "atom.global", TU64)
+	d := b.F.NewValue(b.typeOf(v))
+	b.F.Emit(Instr{Op: OpAtom, Type: b.typeOf(v), Atom: sass.AtomADD, Width: 4,
+		Space: SpGlobal, Dst: d, A: addr, B: v, Imm: off})
+	return d
+}
+
+// AtomMaxGlobal atomically takes the max.
+func (b *Builder) AtomMaxGlobal(addr Value, off int64, v Value) Value {
+	b.want(addr, "atom.global", TU64)
+	d := b.F.NewValue(b.typeOf(v))
+	b.F.Emit(Instr{Op: OpAtom, Type: b.typeOf(v), Atom: sass.AtomMAX, Width: 4,
+		Space: SpGlobal, Dst: d, A: addr, B: v, Imm: off})
+	return d
+}
+
+// AtomAddShared atomically adds v at shared byte offset addr+off.
+func (b *Builder) AtomAddShared(addr Value, off int64, v Value) Value {
+	b.want(addr, "atom.shared", TU32, TS32)
+	d := b.F.NewValue(b.typeOf(v))
+	b.F.Emit(Instr{Op: OpAtom, Type: b.typeOf(v), Atom: sass.AtomADD, Width: 4,
+		Space: SpShared, Dst: d, A: addr, B: v, Imm: off})
+	return d
+}
+
+// ExchGlobal atomically exchanges v at addr+off.
+func (b *Builder) ExchGlobal(addr Value, off int64, v Value) Value {
+	b.want(addr, "atom.exch", TU64)
+	d := b.F.NewValue(b.typeOf(v))
+	b.F.Emit(Instr{Op: OpAtom, Type: b.typeOf(v), Atom: sass.AtomEXCH, Width: 4,
+		Space: SpGlobal, Dst: d, A: addr, B: v, Imm: off})
+	return d
+}
+
+// Control flow.
+
+// Bar emits a CTA-wide barrier.
+func (b *Builder) Bar() { b.F.Emit(Instr{Op: OpBar}) }
+
+// Exit terminates the thread.
+func (b *Builder) Exit() { b.F.Emit(Instr{Op: OpExit}) }
+
+// Trap raises a device-side fault (assertion failure analog).
+func (b *Builder) Trap() { b.F.Emit(Instr{Op: OpTrap}) }
+
+// If runs then() for lanes where cond holds, reconverging afterwards.
+func (b *Builder) If(cond Value, then func()) {
+	b.want(cond, "if", TPred)
+	reconv := b.label("reconv")
+	sync := b.label("sync")
+	b.F.Emit(Instr{Op: OpSSY, Label: reconv})
+	b.F.Emit(Instr{Op: OpBra, Label: sync, Guard: cond, GuardNeg: true})
+	then()
+	b.F.Emit(Instr{Op: OpLabel, Label: sync})
+	b.F.Emit(Instr{Op: OpSync})
+	b.F.Emit(Instr{Op: OpLabel, Label: reconv})
+}
+
+// IfElse runs then() where cond holds and els() elsewhere.
+func (b *Builder) IfElse(cond Value, then, els func()) {
+	b.want(cond, "ifelse", TPred)
+	reconv := b.label("reconv")
+	elseL := b.label("else")
+	b.F.Emit(Instr{Op: OpSSY, Label: reconv})
+	b.F.Emit(Instr{Op: OpBra, Label: elseL, Guard: cond, GuardNeg: true})
+	then()
+	b.F.Emit(Instr{Op: OpSync})
+	b.F.Emit(Instr{Op: OpLabel, Label: elseL})
+	els()
+	b.F.Emit(Instr{Op: OpSync})
+	b.F.Emit(Instr{Op: OpLabel, Label: reconv})
+}
+
+// While loops while cond() yields true, with per-lane divergence handled
+// by the reconvergence stack.
+func (b *Builder) While(cond func() Value, body func()) {
+	exit := b.label("exit")
+	head := b.label("head")
+	sync := b.label("wsync")
+	b.F.Emit(Instr{Op: OpSSY, Label: exit})
+	b.F.Emit(Instr{Op: OpLabel, Label: head})
+	c := cond()
+	b.want(c, "while", TPred)
+	b.F.Emit(Instr{Op: OpBra, Label: sync, Guard: c, GuardNeg: true})
+	body()
+	b.F.Emit(Instr{Op: OpBra, Label: head})
+	b.F.Emit(Instr{Op: OpLabel, Label: sync})
+	b.F.Emit(Instr{Op: OpSync})
+	b.F.Emit(Instr{Op: OpLabel, Label: exit})
+}
+
+// ForRange runs body(i) for i in [start, end) with unit stride.
+func (b *Builder) ForRange(start, end Value, body func(i Value)) {
+	i := b.Var(start)
+	b.While(func() Value {
+		return b.Setp(sass.CmpLT, i, end)
+	}, func() {
+		body(i)
+		b.Assign(i, b.AddI(i, 1))
+	})
+}
+
+// Done verifies and returns the finished function.
+func (b *Builder) Done() (*Func, error) {
+	// Ensure termination.
+	if n := len(b.F.Instrs); n == 0 || b.F.Instrs[n-1].Op != OpExit {
+		b.Exit()
+	}
+	if err := b.F.Verify(); err != nil {
+		return nil, err
+	}
+	return b.F, nil
+}
+
+// MustDone is Done, panicking on verification failure.
+func (b *Builder) MustDone() *Func {
+	f, err := b.Done()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,197 @@
+package ptx_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sassi/internal/ptx"
+	"sassi/internal/ptxas"
+	"sassi/internal/sim"
+)
+
+const saxpySrc = `
+# saxpy: y[i] = a*x[i] + y[i] for i < n
+.entry saxpy
+.param ptr x
+.param ptr y
+.param u32 n
+.param f32 a
+%i = gtid.x
+%p = setp.lt.u32 %i %n
+ssy Ldone
+@!%p bra Lsync
+%xa = index %x %i 2
+%v = ld.global.f32 %xa 0
+%ya = index %y %i 2
+%w = ld.global.f32 %ya 0
+%r = fma.f32 %a %v %w
+st.global.f32 %ya 0 %r
+Lsync:
+sync
+Ldone:
+exit
+`
+
+func TestParseAndRunSaxpy(t *testing.T) {
+	f, err := ptx.Parse(saxpySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "saxpy" || len(f.Params) != 4 {
+		t.Fatalf("parsed header wrong: %s %v", f.Name, f.Params)
+	}
+	m := ptx.NewModule()
+	m.Add(f)
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := sim.NewDevice(sim.MiniGPU())
+	const n = 100
+	dx := dev.Alloc(4*n, "x")
+	dy := dev.Alloc(4*n, "y")
+	for i := 0; i < n; i++ {
+		dev.Global.Write32(dx+uint64(4*i), math.Float32bits(float32(i)))
+		dev.Global.Write32(dy+uint64(4*i), math.Float32bits(1))
+	}
+	a := float32(0.5)
+	if _, err := dev.Launch(prog, "saxpy", sim.LaunchParams{
+		Grid: sim.D1(4), Block: sim.D1(32),
+		Args: []uint64{dx, dy, n, uint64(math.Float32bits(a))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		bits, _ := dev.Global.Read32(dy + uint64(4*i))
+		got := math.Float32frombits(bits)
+		want := a*float32(i) + 1
+		if got != want {
+			t.Fatalf("y[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+const loopSrc = `
+.entry count
+.param ptr out
+%i = gtid.x
+%acc = mov.u32 0
+%j = mov.u32 0
+ssy Ldone
+Lhead:
+%p = setp.ge.u32 %j %i
+@%p bra Lsync
+%acc = add.u32 %acc %j
+%j = add.u32 %j 1
+bra Lhead
+Lsync:
+sync
+Ldone:
+%oa = index %out %i 2
+st.global.u32 %oa 0 %acc
+exit
+`
+
+// TestParseLoopWithMutableRegs: redefinition of %acc/%j forms a loop.
+func TestParseLoopWithMutableRegs(t *testing.T) {
+	f, err := ptx.Parse(loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ptx.NewModule()
+	m.Add(f)
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := sim.NewDevice(sim.MiniGPU())
+	out := dev.Alloc(4*32, "out")
+	if _, err := dev.Launch(prog, "count", sim.LaunchParams{
+		Grid: sim.D1(1), Block: sim.D1(32), Args: []uint64{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		v, _ := dev.Global.Read32(out + uint64(4*i))
+		want := uint32(i * (i - 1) / 2) // sum 0..i-1
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+const atomSrc = `
+.entry histo
+.param ptr hist
+%i = gtid.x
+%b = and.u32 %i 3
+%ba = index %hist %b 2
+%one = mov.u32 1
+atom.add.global %ba 0 %one
+exit
+`
+
+func TestParseAtomics(t *testing.T) {
+	f, err := ptx.Parse(atomSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ptx.NewModule()
+	m.Add(f)
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := sim.NewDevice(sim.MiniGPU())
+	hist := dev.Alloc(16, "hist")
+	if _, err := dev.Launch(prog, "histo", sim.LaunchParams{
+		Grid: sim.D1(2), Block: sim.D1(32), Args: []uint64{hist},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		v, _ := dev.Global.Read32(hist + uint64(4*b))
+		if v != 16 {
+			t.Fatalf("hist[%d] = %d, want 16", b, v)
+		}
+	}
+}
+
+func TestParseModuleMultipleKernels(t *testing.T) {
+	m, err := ptx.ParseModule(saxpySrc + "\n" + atomSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("kernels = %d", len(m.Funcs))
+	}
+	if m.Funcs[0].Name != "saxpy" || m.Funcs[1].Name != "histo" {
+		t.Errorf("names: %s, %s", m.Funcs[0].Name, m.Funcs[1].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no entry", "%i = gtid.x", "before .entry"},
+		{"bad param", ".entry k\n.param blob x", "unknown param type"},
+		{"undefined reg", ".entry k\n%a = add.u32 %ghost 1", "undefined register"},
+		{"bad op", ".entry k\n%a = frobnicate %b", "unknown opcode"},
+		{"bad guard", ".entry k\n@%ghost bra L", "undefined guard"},
+		{"dangling label", ".entry k\nbra Lnowhere\nexit", "undefined label"},
+		{"retype", ".entry k\n%a = mov.u32 1\n%a = mov.f32 1.0", "different type"},
+		{"imm in a-slot", ".entry k\n%a = add.u32 1 %a", "not allowed"},
+	}
+	for _, c := range cases {
+		_, err := ptx.Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}

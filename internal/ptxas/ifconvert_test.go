@@ -1,0 +1,75 @@
+package ptxas_test
+
+import (
+	"strings"
+	"testing"
+
+	"sassi/internal/ptx"
+	"sassi/internal/ptxas"
+	"sassi/internal/sass"
+)
+
+// buildGuardedStore returns a kernel with a short guarded store, the
+// canonical if-conversion candidate.
+func buildGuardedStore(t *testing.T, opts ptxas.Options) *sass.Kernel {
+	t.Helper()
+	b := ptx.NewKernel("k")
+	p := b.ParamU64("p")
+	i := b.GlobalTidX()
+	cond := b.SetpI(sass.CmpLT, i, 10)
+	b.If(cond, func() {
+		b.StGlobalU32(b.Index(p, i, 2), 0, i)
+	})
+	m := ptx.NewModule()
+	m.Add(b.MustDone())
+	prog, err := ptxas.Compile(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Kernels[0]
+}
+
+// TestIfConvertPredicatesShortBranches: the backend turns a short If into
+// predicated instructions (the paper's "@P0 ST.E" idiom), removing the
+// SSY/BRA/SYNC triple.
+func TestIfConvertPredicatesShortBranches(t *testing.T) {
+	k := buildGuardedStore(t, ptxas.Options{})
+	dis := k.Disassemble()
+	if strings.Contains(dis, "SSY") || strings.Contains(dis, "SYNC") {
+		t.Errorf("if-conversion did not fire:\n%s", dis)
+	}
+	guarded := 0
+	for i := range k.Instrs {
+		if !k.Instrs[i].Guard.IsAlways() {
+			guarded++
+		}
+	}
+	if guarded == 0 {
+		t.Error("no predicated instructions after if-conversion")
+	}
+}
+
+// TestNoIfConvertKeepsBranch: the ablation knob preserves the divergence
+// idiom.
+func TestNoIfConvertKeepsBranch(t *testing.T) {
+	k := buildGuardedStore(t, ptxas.Options{NoIfConvert: true})
+	dis := k.Disassemble()
+	if !strings.Contains(dis, "SSY") || !strings.Contains(dis, "SYNC") {
+		t.Errorf("expected SSY/SYNC with if-conversion disabled:\n%s", dis)
+	}
+}
+
+// TestCopyPropShrinksCode: copy propagation + DCE must strictly reduce the
+// instruction count of builder-generated code, and if-conversion must
+// shrink it further.
+func TestCopyPropShrinksCode(t *testing.T) {
+	with := len(buildGuardedStore(t, ptxas.Options{}).Instrs)
+	without := len(buildGuardedStore(t, ptxas.Options{NoCopyProp: true, NoIfConvert: true}).Instrs)
+	withNoCvt := len(buildGuardedStore(t, ptxas.Options{NoIfConvert: true}).Instrs)
+	if withNoCvt >= without {
+		t.Errorf("copy-prop did not shrink code: %d -> %d", without, withNoCvt)
+	}
+	if with >= withNoCvt {
+		t.Errorf("if-conversion did not shrink code further: %d -> %d", withNoCvt, with)
+	}
+}

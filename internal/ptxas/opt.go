@@ -1,0 +1,114 @@
+package ptxas
+
+import "sassi/internal/ptx"
+
+// PTX-level cleanup passes. The Builder API emits straightforward code
+// with many value copies (type reinterpretation, Var initialization);
+// these passes remove them before register allocation, exactly where a
+// production backend would, so that SASSI later instruments optimized code
+// (the paper: injection happens after all compile-time optimization).
+
+// valueStats counts definitions and uses of every virtual register.
+type valueStats struct {
+	defs map[int32]int
+	uses map[int32]int
+}
+
+func collectStats(f *ptx.Func) valueStats {
+	s := valueStats{defs: map[int32]int{}, uses: map[int32]int{}}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Dst.Valid() {
+			s.defs[in.Dst.ID()]++
+		}
+		for _, v := range []ptx.Value{in.A, in.B, in.C, in.Guard} {
+			if v.Valid() {
+				s.uses[v.ID()]++
+			}
+		}
+	}
+	return s
+}
+
+// copyPropagate replaces uses of single-definition copies with their
+// sources. Only unguarded `mov d, a` instructions where both d and a are
+// defined exactly once qualify: single-def values cannot be invalidated by
+// later redefinition, and d's definition dominates its uses in a verified
+// program, so global replacement is sound.
+func copyPropagate(f *ptx.Func) {
+	st := collectStats(f)
+	repl := map[int32]ptx.Value{}
+	resolve := func(v ptx.Value) ptx.Value {
+		for {
+			r, ok := repl[v.ID()]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Op != ptx.OpMov || in.Guard.Valid() || in.HasImm || !in.A.Valid() {
+			continue
+		}
+		if st.defs[in.Dst.ID()] != 1 || st.defs[in.A.ID()] != 1 {
+			continue
+		}
+		repl[in.Dst.ID()] = resolve(in.A)
+	}
+	if len(repl) == 0 {
+		return
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.A.Valid() {
+			in.A = resolve(in.A)
+		}
+		if in.B.Valid() {
+			in.B = resolve(in.B)
+		}
+		if in.C.Valid() {
+			in.C = resolve(in.C)
+		}
+		if in.Guard.Valid() {
+			in.Guard = resolve(in.Guard)
+		}
+	}
+}
+
+// pureOp reports whether an instruction can be deleted when its result is
+// unused. Memory operations stay: a dead load may still fault, and stores
+// and atomics have effects.
+func pureOp(op ptx.Op) bool {
+	switch op {
+	case ptx.OpMov, ptx.OpAdd, ptx.OpSub, ptx.OpMul, ptx.OpMad, ptx.OpMin,
+		ptx.OpMax, ptx.OpAnd, ptx.OpOr, ptx.OpXor, ptx.OpNot, ptx.OpShl,
+		ptx.OpShr, ptx.OpSetp, ptx.OpPAnd, ptx.OpPOr, ptx.OpPNot, ptx.OpSel,
+		ptx.OpCvt, ptx.OpFma, ptx.OpMufu, ptx.OpSreg, ptx.OpLdParam:
+		return true
+	}
+	return false
+}
+
+// deadCodeEliminate deletes pure instructions whose destinations are never
+// read, iterating to a fixed point (removals can orphan feeders).
+func deadCodeEliminate(f *ptx.Func) {
+	for {
+		st := collectStats(f)
+		keep := f.Instrs[:0]
+		removed := false
+		for i := range f.Instrs {
+			in := f.Instrs[i]
+			if in.Dst.Valid() && st.uses[in.Dst.ID()] == 0 && pureOp(in.Op) && !in.Guard.Valid() {
+				removed = true
+				continue
+			}
+			keep = append(keep, in)
+		}
+		f.Instrs = keep
+		if !removed {
+			return
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package ptxas is the backend compiler: it lowers PTX (internal/ptx) to
+// SASS machine code (internal/sass), allocating physical registers with a
+// liveness-driven linear scan. SASSI instrumentation runs after this
+// compiler has finished, so injection never perturbs allocation or code
+// ordering — the property the paper gets by making SASSI the final ptxas
+// pass.
+package ptxas
+
+import (
+	"fmt"
+	"sort"
+
+	"sassi/internal/ptx"
+	"sassi/internal/sass"
+)
+
+// interval is a virtual register's live range over the linear instruction
+// order, with loop back-edges already folded in by the dataflow pass.
+type interval struct {
+	v          int32
+	t          ptx.Type
+	start, end int
+}
+
+// liveAnalysis computes per-vreg live intervals for a PTX function.
+func liveAnalysis(f *ptx.Func) ([]interval, error) {
+	n := len(f.Instrs)
+	// Label positions.
+	labelPos := make(map[string]int, 8)
+	for i := range f.Instrs {
+		if f.Instrs[i].Op == ptx.OpLabel {
+			labelPos[f.Instrs[i].Label] = i
+		}
+	}
+	// Block leaders.
+	lead := make([]bool, n+1)
+	if n > 0 {
+		lead[0] = true
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		switch in.Op {
+		case ptx.OpLabel:
+			lead[i] = true
+		case ptx.OpBra, ptx.OpSSY:
+			if p, ok := labelPos[in.Label]; ok {
+				lead[p] = true
+			}
+			lead[i+1] = true
+		case ptx.OpExit, ptx.OpSync:
+			lead[i+1] = true
+		}
+	}
+	// Successor edges per instruction-ending-a-block.
+	succs := func(i int) []int {
+		in := &f.Instrs[i]
+		switch in.Op {
+		case ptx.OpExit:
+			return nil
+		case ptx.OpBra:
+			t := labelPos[in.Label]
+			if in.Guard.Valid() {
+				return []int{t, i + 1}
+			}
+			return []int{t}
+		case ptx.OpSSY:
+			// Deferred paths resume at the reconvergence point.
+			return []int{labelPos[in.Label], i + 1}
+		default:
+			return []int{i + 1}
+		}
+	}
+	uses := func(in *ptx.Instr) []ptx.Value {
+		var out []ptx.Value
+		for _, v := range []ptx.Value{in.A, in.B, in.C, in.Guard} {
+			if v.Valid() {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	// Backward dataflow over instructions (bitset per position would be
+	// faster; a map-set is fine at workload kernel sizes).
+	liveIn := make([]map[int32]bool, n+1)
+	for i := range liveIn {
+		liveIn[i] = map[int32]bool{}
+	}
+	vid := func(v ptx.Value) int32 { return v.ID() }
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			in := &f.Instrs[i]
+			out := map[int32]bool{}
+			for _, s := range succs(i) {
+				if s <= n {
+					for v := range liveIn[s] {
+						out[v] = true
+					}
+				}
+			}
+			// transfer: live = (out - def) + use. A guarded def merges.
+			if in.Dst.Valid() && !in.Guard.Valid() {
+				delete(out, vid(in.Dst))
+			}
+			for _, u := range uses(in) {
+				out[vid(u)] = true
+			}
+			if in.Dst.Valid() && in.Guard.Valid() {
+				out[vid(in.Dst)] = true
+			}
+			if len(out) != len(liveIn[i]) {
+				liveIn[i] = out
+				changed = true
+				continue
+			}
+			for v := range out {
+				if !liveIn[i][v] {
+					liveIn[i] = out
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Intervals.
+	starts := map[int32]int{}
+	ends := map[int32]int{}
+	types := map[int32]ptx.Type{}
+	note := func(v ptx.Value, pos int) {
+		id := vid(v)
+		if _, ok := starts[id]; !ok {
+			starts[id] = pos
+		}
+		if pos > ends[id] {
+			ends[id] = pos
+		}
+		types[id] = f.TypeOf(v)
+	}
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Dst.Valid() {
+			note(in.Dst, i)
+		}
+		for _, u := range uses(in) {
+			note(u, i)
+		}
+		for v := range liveIn[i] {
+			if _, ok := starts[v]; !ok {
+				starts[v] = i
+			}
+			if i > ends[v] {
+				ends[v] = i
+			}
+		}
+	}
+	out := make([]interval, 0, len(starts))
+	for v, s := range starts {
+		out = append(out, interval{v: v, t: types[v], start: s, end: ends[v]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].start != out[j].start {
+			return out[i].start < out[j].start
+		}
+		return out[i].v < out[j].v
+	})
+	return out, nil
+}
+
+// allocation maps virtual registers to physical SASS registers.
+type allocation struct {
+	reg     map[int32]uint8 // GPR number (pair base for u64)
+	pred    map[int32]uint8 // predicate number
+	numRegs int
+	numPred int
+}
+
+// allocate runs linear scan over the intervals.
+//
+// R1 is reserved as the ABI stack pointer. 64-bit values take an aligned
+// even/odd register pair.
+func allocate(ivs []interval, maxRegs int) (*allocation, error) {
+	if maxRegs <= 0 || maxRegs > sass.NumGPR {
+		maxRegs = sass.NumGPR
+	}
+	a := &allocation{reg: map[int32]uint8{}, pred: map[int32]uint8{}}
+	inUse := make([]int32, maxRegs) // -1 free, else vreg id
+	for i := range inUse {
+		inUse[i] = -1
+	}
+	inUse[sass.SP] = -2 // reserved
+	predUse := make([]int32, sass.NumPred)
+	for i := range predUse {
+		predUse[i] = -1
+	}
+	type active struct {
+		end  int
+		v    int32
+		pred bool
+	}
+	var act []active
+
+	expire := func(pos int) {
+		keep := act[:0]
+		for _, e := range act {
+			if e.end < pos {
+				if e.pred {
+					predUse[a.pred[e.v]] = -1
+				} else {
+					r := a.reg[e.v]
+					inUse[r] = -1
+					if int(r)+1 < len(inUse) && inUse[r+1] == e.v {
+						inUse[r+1] = -1
+					}
+				}
+				continue
+			}
+			keep = append(keep, e)
+		}
+		act = keep
+	}
+
+	for _, iv := range ivs {
+		expire(iv.start)
+		if iv.t == ptx.TPred {
+			got := -1
+			for p := 0; p < sass.NumPred; p++ {
+				if predUse[p] == -1 {
+					got = p
+					break
+				}
+			}
+			if got == -1 {
+				return nil, fmt.Errorf("ptxas: out of predicate registers (7) — restructure the kernel")
+			}
+			predUse[got] = iv.v
+			a.pred[iv.v] = uint8(got)
+			if got+1 > a.numPred {
+				a.numPred = got + 1
+			}
+			act = append(act, active{end: iv.end, v: iv.v, pred: true})
+			continue
+		}
+		need := 1
+		if iv.t == ptx.TU64 {
+			need = 2
+		}
+		got := -1
+		for r := 0; r+need <= len(inUse); r++ {
+			if need == 2 && r%2 != 0 {
+				continue
+			}
+			ok := true
+			for j := 0; j < need; j++ {
+				if inUse[r+j] != -1 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				got = r
+				break
+			}
+		}
+		if got == -1 {
+			return nil, fmt.Errorf("ptxas: out of registers (cap %d): kernel needs spilling, which this backend does not implement — raise -maxrregcount", maxRegs)
+		}
+		for j := 0; j < need; j++ {
+			inUse[got+j] = iv.v
+		}
+		a.reg[iv.v] = uint8(got)
+		if got+need > a.numRegs {
+			a.numRegs = got + need
+		}
+		act = append(act, active{end: iv.end, v: iv.v})
+	}
+	if a.numRegs < 2 {
+		a.numRegs = 2 // SP exists even in trivial kernels
+	}
+	return a, nil
+}

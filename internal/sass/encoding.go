@@ -1,0 +1,339 @@
+package sass
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Summary-word encoding. SASSI passes each instrumented instruction's static
+// properties to handlers as a single word (the paper's insEncoding field).
+// The layout is:
+//
+//	bits  0..7   opcode
+//	bits  8..15  class flags (mem, memRead, memWrite, ctrlXfer, sync,
+//	             numeric, texture, spillOrFill)
+//	bits 16..20  log2-ish width code (bytes)
+//	bit  21      guarded (instruction carries a non-trivial predicate)
+//	bits 22..24  guard register
+//	bit  25      guard negated
+//	bit  26      sets CC
+//	bit  27      atomic
+type summaryBits uint32
+
+// Class flag bits within the summary word.
+const (
+	sumMem uint32 = 1 << (8 + iota)
+	sumMemRead
+	sumMemWrite
+	sumCtrlXfer
+	sumSync
+	sumNumeric
+	sumTexture
+	sumSpillFill
+)
+
+// EncodeSummary packs the instruction's opcode and static classification
+// into one word, the value handlers receive as the instruction encoding.
+func EncodeSummary(in *Instruction) uint32 {
+	w := uint32(in.Op)
+	if in.Op.IsMem() {
+		w |= sumMem
+	}
+	if in.Op.IsMemRead() {
+		w |= sumMemRead
+	}
+	if in.Op.IsMemWrite() {
+		w |= sumMemWrite
+	}
+	if in.Op.IsControlXfer() {
+		w |= sumCtrlXfer
+	}
+	if in.Op.IsSync() {
+		w |= sumSync
+	}
+	if in.Op.IsNumeric() {
+		w |= sumNumeric
+	}
+	if in.Op.IsTexture() {
+		w |= sumTexture
+	}
+	if in.Op.IsSpillOrFill() {
+		w |= sumSpillFill
+	}
+	w |= uint32(in.Mods.Width.Bytes()&0x1f) << 16
+	if !in.Guard.IsAlways() {
+		w |= 1 << 21
+		w |= uint32(in.Guard.Reg&0x7) << 22
+		if in.Guard.Neg {
+			w |= 1 << 25
+		}
+	}
+	if in.Mods.SetCC {
+		w |= 1 << 26
+	}
+	if in.Op.IsAtomic() {
+		w |= 1 << 27
+	}
+	return w
+}
+
+// SummaryOpcode extracts the opcode from a summary word.
+func SummaryOpcode(w uint32) Opcode { return Opcode(w & 0xff) }
+
+// Summary classification helpers used by handler-side params objects.
+func SummaryIsMem(w uint32) bool       { return w&sumMem != 0 }
+func SummaryIsMemRead(w uint32) bool   { return w&sumMemRead != 0 }
+func SummaryIsMemWrite(w uint32) bool  { return w&sumMemWrite != 0 }
+func SummaryIsCtrlXfer(w uint32) bool  { return w&sumCtrlXfer != 0 }
+func SummaryIsSync(w uint32) bool      { return w&sumSync != 0 }
+func SummaryIsNumeric(w uint32) bool   { return w&sumNumeric != 0 }
+func SummaryIsTexture(w uint32) bool   { return w&sumTexture != 0 }
+func SummaryIsSpillFill(w uint32) bool { return w&sumSpillFill != 0 }
+func SummaryIsAtomic(w uint32) bool    { return w&(1<<27) != 0 }
+func SummaryWidth(w uint32) int        { return int(w >> 16 & 0x1f) }
+func SummaryIsGuarded(w uint32) bool   { return w&(1<<21) != 0 }
+
+// Binary serialization of compiled kernels, so that cmd tools can cache
+// compiled+instrumented programs on disk ("cubin" analog).
+
+const kernelMagic = "SASSKRN1"
+
+// MarshalBinary serializes the kernel to a compact byte format.
+func (k *Kernel) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(kernelMagic)
+	writeStr := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		b.Write(n[:])
+		b.WriteString(s)
+	}
+	writeU32 := func(v uint32) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], v)
+		b.Write(n[:])
+	}
+	writeStr(k.Name)
+	writeU32(uint32(k.NumRegs))
+	writeU32(uint32(k.NumPreds))
+	writeU32(uint32(k.SharedBytes))
+	writeU32(uint32(k.LocalBytes))
+	writeU32(uint32(len(k.Params)))
+	for _, p := range k.Params {
+		writeStr(p.Name)
+		writeU32(uint32(p.Size))
+		writeU32(uint32(p.Offset))
+	}
+	writeU32(uint32(len(k.Labels)))
+	for name, idx := range k.Labels {
+		writeStr(name)
+		writeU32(uint32(idx))
+	}
+	writeU32(uint32(len(k.Instrs)))
+	for i := range k.Instrs {
+		if err := marshalInstr(&b, &k.Instrs[i], writeStr, writeU32); err != nil {
+			return nil, fmt.Errorf("kernel %s instr %d: %w", k.Name, i, err)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func marshalInstr(b *bytes.Buffer, in *Instruction, writeStr func(string), writeU32 func(uint32)) error {
+	b.WriteByte(byte(in.Op))
+	b.WriteByte(in.Guard.Reg)
+	flags := byte(0)
+	if in.Guard.Neg {
+		flags |= 1
+	}
+	if in.Injected {
+		flags |= 2
+	}
+	b.WriteByte(flags)
+	// Mods.
+	b.WriteByte(byte(in.Mods.Width))
+	b.WriteByte(byte(in.Mods.Cmp))
+	b.WriteByte(byte(in.Mods.Logic))
+	b.WriteByte(byte(in.Mods.Atom))
+	b.WriteByte(byte(in.Mods.Mufu))
+	b.WriteByte(byte(in.Mods.Vote))
+	b.WriteByte(byte(in.Mods.Shfl))
+	mflags := byte(0)
+	if in.Mods.Unsigned {
+		mflags |= 1
+	}
+	if in.Mods.SetCC {
+		mflags |= 2
+	}
+	if in.Mods.X {
+		mflags |= 4
+	}
+	if in.Mods.E {
+		mflags |= 8
+	}
+	if in.Mods.NegB {
+		mflags |= 16
+	}
+	b.WriteByte(mflags)
+	writeOpds := func(ops []Operand) error {
+		b.WriteByte(byte(len(ops)))
+		for _, o := range ops {
+			b.WriteByte(byte(o.Kind))
+			b.WriteByte(o.Reg)
+			neg := byte(0)
+			if o.Neg {
+				neg = 1
+			}
+			b.WriteByte(neg)
+			b.WriteByte(o.Bank)
+			b.WriteByte(byte(o.SR))
+			var v [8]byte
+			binary.LittleEndian.PutUint64(v[:], uint64(o.Imm))
+			b.Write(v[:])
+			writeStr(o.Name)
+		}
+		return nil
+	}
+	if err := writeOpds(in.Dsts); err != nil {
+		return err
+	}
+	return writeOpds(in.Srcs)
+}
+
+// UnmarshalBinary deserializes a kernel written by MarshalBinary.
+func (k *Kernel) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	magic := make([]byte, len(kernelMagic))
+	if _, err := r.Read(magic); err != nil || string(magic) != kernelMagic {
+		return fmt.Errorf("bad kernel magic")
+	}
+	readU32 := func() (uint32, error) {
+		var n [4]byte
+		if _, err := r.Read(n[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(n[:]), nil
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n == 0 {
+			// bytes.Reader returns io.EOF for empty reads at end-of-input.
+			return "", nil
+		}
+		if n > uint32(r.Len()) {
+			return "", fmt.Errorf("string length %d exceeds remaining input", n)
+		}
+		s := make([]byte, n)
+		if _, err := r.Read(s); err != nil {
+			return "", err
+		}
+		return string(s), nil
+	}
+	var err error
+	if k.Name, err = readStr(); err != nil {
+		return err
+	}
+	geti := func() int {
+		v, e := readU32()
+		if e != nil {
+			err = e
+		}
+		return int(v)
+	}
+	k.NumRegs = geti()
+	k.NumPreds = geti()
+	k.SharedBytes = geti()
+	k.LocalBytes = geti()
+	np := geti()
+	if err != nil {
+		return err
+	}
+	k.Params = make([]ParamDesc, np)
+	for i := range k.Params {
+		if k.Params[i].Name, err = readStr(); err != nil {
+			return err
+		}
+		k.Params[i].Size = geti()
+		k.Params[i].Offset = geti()
+	}
+	nl := geti()
+	if err != nil {
+		return err
+	}
+	k.Labels = make(map[string]int, nl)
+	for i := 0; i < nl; i++ {
+		name, e := readStr()
+		if e != nil {
+			return e
+		}
+		k.Labels[name] = geti()
+	}
+	ni := geti()
+	if err != nil {
+		return err
+	}
+	k.Instrs = make([]Instruction, ni)
+	for i := range k.Instrs {
+		if err := unmarshalInstr(r, &k.Instrs[i], readStr); err != nil {
+			return fmt.Errorf("instr %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func unmarshalInstr(r *bytes.Reader, in *Instruction, readStr func() (string, error)) error {
+	hdr := make([]byte, 11)
+	if _, err := r.Read(hdr); err != nil {
+		return err
+	}
+	in.Op = Opcode(hdr[0])
+	in.Guard = PredGuard{Reg: hdr[1], Neg: hdr[2]&1 != 0}
+	in.Injected = hdr[2]&2 != 0
+	in.Mods = Mods{
+		Width: Width(hdr[3]), Cmp: CmpOp(hdr[4]), Logic: LogicOp(hdr[5]),
+		Atom: AtomOp(hdr[6]), Mufu: MufuFunc(hdr[7]), Vote: VoteMode(hdr[8]),
+		Shfl: ShflMode(hdr[9]),
+	}
+	in.Mods.Unsigned = hdr[10]&1 != 0
+	in.Mods.SetCC = hdr[10]&2 != 0
+	in.Mods.X = hdr[10]&4 != 0
+	in.Mods.E = hdr[10]&8 != 0
+	in.Mods.NegB = hdr[10]&16 != 0
+	readOpds := func() ([]Operand, error) {
+		nb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if nb == 0 {
+			return nil, nil
+		}
+		ops := make([]Operand, nb)
+		for i := range ops {
+			raw := make([]byte, 13)
+			if _, err := r.Read(raw); err != nil {
+				return nil, err
+			}
+			ops[i] = Operand{
+				Kind: OperandKind(raw[0]),
+				Reg:  raw[1],
+				Neg:  raw[2] != 0,
+				Bank: raw[3],
+				SR:   SpecialReg(raw[4]),
+				Imm:  int64(binary.LittleEndian.Uint64(raw[5:])),
+			}
+			if ops[i].Name, err = readStr(); err != nil {
+				return nil, err
+			}
+		}
+		return ops, nil
+	}
+	var err error
+	if in.Dsts, err = readOpds(); err != nil {
+		return err
+	}
+	in.Srcs, err = readOpds()
+	return err
+}

@@ -1,0 +1,447 @@
+// Package sass defines a SASS-like native GPU instruction set: the machine
+// ISA produced by the backend compiler (internal/ptxas), consumed by the
+// SIMT simulator (internal/sim), and instrumented by SASSI (internal/sassi).
+//
+// The ISA is modeled on NVIDIA's Kepler-generation SASS as described in the
+// ISCA'15 SASSI paper: 32-bit general purpose registers R0..R254 plus the
+// always-zero RZ, seven predicate registers P0..P6 plus the always-true PT,
+// a 4-bit condition code, per-instruction predication, a divergence stack
+// driven by SSY/SYNC, separate local/shared/global memory spaces reachable
+// through a generic address window, and warp-wide collectives (VOTE, SHFL).
+package sass
+
+import "fmt"
+
+// Opcode identifies a SASS instruction operation.
+type Opcode uint8
+
+// The instruction set. Groupings mirror Kepler SASS families.
+const (
+	OpNOP Opcode = iota
+
+	// Integer arithmetic and logic.
+	OpIADD   // IADD Rd, Ra, Rb|imm|c[][]        (.CC sets condition code, .X adds carry)
+	OpIADD32 // IADD32I Rd, Ra, imm32
+	OpIMUL   // IMUL Rd, Ra, Rb|imm
+	OpIMAD   // IMAD Rd, Ra, Rb, Rc              (Rd = Ra*Rb + Rc)
+	OpISCADD // ISCADD Rd, Ra, Rb, shift         (Rd = (Ra<<shift) + Rb)
+	OpISETP  // ISETP.cmp.and Pd, Pq, Ra, Rb, Pc (integer compare, sets predicate pair)
+	OpIMNMX  // IMNMX Rd, Ra, Rb, Pc             (min if Pc, max if !Pc)
+	OpLOP    // LOP.op Rd, Ra, Rb|imm            (AND/OR/XOR/PASSB/NOT)
+	OpSHL    // SHL Rd, Ra, Rb|imm
+	OpSHR    // SHR Rd, Ra, Rb|imm               (.U32 logical, signed otherwise)
+	OpBFE    // BFE Rd, Ra, Rb                   (bit field extract, pos|len<<8)
+	OpBFI    // BFI Rd, Ra, Rb, Rc               (bit field insert)
+	OpFLO    // FLO Rd, Ra                       (find leading one)
+	OpPOPC   // POPC Rd, Ra                      (population count)
+	OpSEL    // SEL Rd, Ra, Rb, Pc               (Rd = Pc ? Ra : Rb)
+	OpMOV    // MOV Rd, Ra|c[][]
+	OpMOV32  // MOV32I Rd, imm32
+	OpS2R    // S2R Rd, SR                       (read special register)
+	OpP2R    // P2R Rd, PR, Ra, mask             (predicates -> register)
+	OpR2P    // R2P PR, Ra, mask                 (register -> predicates)
+	OpPSETP  // PSETP.and.and Pd, Pq, Pa, Pb, Pc (predicate logic)
+
+	// Floating point (32-bit unless .64 modifier).
+	OpFADD  // FADD Rd, Ra, Rb
+	OpFMUL  // FMUL Rd, Ra, Rb
+	OpFFMA  // FFMA Rd, Ra, Rb, Rc
+	OpFSETP // FSETP.cmp.and Pd, Pq, Ra, Rb, Pc
+	OpFMNMX // FMNMX Rd, Ra, Rb, Pc
+	OpMUFU  // MUFU.func Rd, Ra                  (rcp, rsq, sqrt, sin, cos, ex2, lg2)
+	OpF2I   // F2I Rd, Ra
+	OpI2F   // I2F Rd, Ra
+	OpF2F   // F2F Rd, Ra                        (used for ftz/round; functional no-op here)
+
+	// Memory. Generic LD/ST decode their space from the address window.
+	OpLD    // LD.width Rd, [Ra+ofs]             (generic load)
+	OpST    // ST.width [Ra+ofs], Rb             (generic store)
+	OpLDG   // LDG.width Rd, [Ra+ofs]            (global load)
+	OpSTG   // STG.width [Ra+ofs], Rb            (global store)
+	OpLDL   // LDL.width Rd, [Ra+ofs]            (local: spills, stack)
+	OpSTL   // STL.width [Ra+ofs], Rb
+	OpLDS   // LDS.width Rd, [Ra+ofs]            (shared)
+	OpSTS   // STS.width [Ra+ofs], Rb
+	OpLDC   // LDC Rd, c[bank][Ra+ofs]           (constant load)
+	OpATOM  // ATOM.op Rd, [Ra+ofs], Rb (, Rc for CAS)  (global atomic)
+	OpATOMS // ATOMS.op Rd, [Ra+ofs], Rb         (shared atomic)
+	OpRED   // RED.op [Ra+ofs], Rb               (reduction, no return)
+	OpTLD   // TLD Rd, Ra (texture load stub; flagged texture for classification)
+
+	// Control flow.
+	OpBRA  // BRA target                         (predicated => conditional branch)
+	OpSSY  // SSY target                         (push reconvergence point)
+	OpSYNC // SYNC                               (pop divergence stack / reconverge)
+	OpBRK  // BRK                                (break to PBK target)
+	OpPBK  // PBK target                         (push break point)
+	OpCAL  // CAL target                         (call, pushes return PC)
+	OpJCAL // JCAL sym                           (call linked symbol; SASSI handlers)
+	OpRET  // RET
+	OpEXIT // EXIT                               (thread terminates)
+	OpBAR  // BAR.SYNC                           (CTA-wide barrier)
+
+	// Warp collectives.
+	OpVOTE // VOTE.mode Rd|Pd, Pa                (ALL/ANY/BALLOT over active threads)
+	OpSHFL // SHFL.mode Pd, Rd, Ra, Rb, Rc       (intra-warp shuffle)
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNOP:  "NOP",
+	OpIADD: "IADD", OpIADD32: "IADD32I", OpIMUL: "IMUL", OpIMAD: "IMAD",
+	OpISCADD: "ISCADD", OpISETP: "ISETP", OpIMNMX: "IMNMX", OpLOP: "LOP",
+	OpSHL: "SHL", OpSHR: "SHR", OpBFE: "BFE", OpBFI: "BFI", OpFLO: "FLO",
+	OpPOPC: "POPC", OpSEL: "SEL", OpMOV: "MOV", OpMOV32: "MOV32I",
+	OpS2R: "S2R", OpP2R: "P2R", OpR2P: "R2P", OpPSETP: "PSETP",
+	OpFADD: "FADD", OpFMUL: "FMUL", OpFFMA: "FFMA", OpFSETP: "FSETP",
+	OpFMNMX: "FMNMX", OpMUFU: "MUFU", OpF2I: "F2I", OpI2F: "I2F", OpF2F: "F2F",
+	OpLD: "LD", OpST: "ST", OpLDG: "LDG", OpSTG: "STG", OpLDL: "LDL",
+	OpSTL: "STL", OpLDS: "LDS", OpSTS: "STS", OpLDC: "LDC",
+	OpATOM: "ATOM", OpATOMS: "ATOMS", OpRED: "RED", OpTLD: "TLD",
+	OpBRA: "BRA", OpSSY: "SSY", OpSYNC: "SYNC", OpBRK: "BRK", OpPBK: "PBK",
+	OpCAL: "CAL", OpJCAL: "JCAL", OpRET: "RET", OpEXIT: "EXIT", OpBAR: "BAR",
+	OpVOTE: "VOTE", OpSHFL: "SHFL",
+}
+
+// String returns the SASS mnemonic for the opcode.
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// NumOpcodes reports the number of defined opcodes (for table sizing).
+func NumOpcodes() int { return int(opCount) }
+
+// OpcodeByName resolves a mnemonic back to its Opcode.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, opCount)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+// Instruction classification, mirroring the SASSIBeforeParams query methods
+// of the paper (IsMem, IsControlXfer, IsNumeric, ...).
+
+// IsMem reports whether the opcode touches memory.
+func (o Opcode) IsMem() bool {
+	switch o {
+	case OpLD, OpST, OpLDG, OpSTG, OpLDL, OpSTL, OpLDS, OpSTS, OpLDC,
+		OpATOM, OpATOMS, OpRED, OpTLD:
+		return true
+	}
+	return false
+}
+
+// IsMemRead reports whether the opcode reads memory.
+func (o Opcode) IsMemRead() bool {
+	switch o {
+	case OpLD, OpLDG, OpLDL, OpLDS, OpLDC, OpATOM, OpATOMS, OpTLD:
+		return true
+	}
+	return false
+}
+
+// IsMemWrite reports whether the opcode writes memory.
+func (o Opcode) IsMemWrite() bool {
+	switch o {
+	case OpST, OpSTG, OpSTL, OpSTS, OpATOM, OpATOMS, OpRED:
+		return true
+	}
+	return false
+}
+
+// IsAtomic reports whether the opcode is an atomic read-modify-write.
+func (o Opcode) IsAtomic() bool { return o == OpATOM || o == OpATOMS || o == OpRED }
+
+// IsSpillOrFill reports whether the opcode accesses thread-local (stack)
+// memory, which is where the compiler places register spills.
+func (o Opcode) IsSpillOrFill() bool {
+	return o == OpLDL || o == OpSTL
+}
+
+// IsControlXfer reports whether the opcode may transfer control.
+func (o Opcode) IsControlXfer() bool {
+	switch o {
+	case OpBRA, OpBRK, OpCAL, OpJCAL, OpRET, OpEXIT, OpSYNC:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the opcode is a call.
+func (o Opcode) IsCall() bool { return o == OpCAL || o == OpJCAL }
+
+// IsSync reports whether the opcode is a synchronization operation.
+func (o Opcode) IsSync() bool { return o == OpBAR || o == OpSYNC || o == OpSSY }
+
+// IsNumeric reports whether the opcode performs arithmetic.
+func (o Opcode) IsNumeric() bool {
+	switch o {
+	case OpIADD, OpIADD32, OpIMUL, OpIMAD, OpISCADD, OpIMNMX, OpLOP, OpSHL,
+		OpSHR, OpBFE, OpBFI, OpFLO, OpPOPC, OpSEL, OpFADD, OpFMUL, OpFFMA,
+		OpFMNMX, OpMUFU, OpF2I, OpI2F, OpF2F:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the opcode operates on floating-point data.
+func (o Opcode) IsFloat() bool {
+	switch o {
+	case OpFADD, OpFMUL, OpFFMA, OpFSETP, OpFMNMX, OpMUFU, OpF2I, OpI2F, OpF2F:
+		return true
+	}
+	return false
+}
+
+// IsTexture reports whether the opcode accesses texture memory.
+func (o Opcode) IsTexture() bool { return o == OpTLD }
+
+// CmpOp is a comparison operator used by ISETP/FSETP modifiers.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+var cmpNames = [...]string{"LT", "LE", "GT", "GE", "EQ", "NE"}
+
+func (c CmpOp) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("CMP(%d)", uint8(c))
+}
+
+// CmpByName resolves a comparison mnemonic.
+func CmpByName(s string) (CmpOp, bool) {
+	for i, n := range cmpNames {
+		if n == s {
+			return CmpOp(i), true
+		}
+	}
+	return 0, false
+}
+
+// LogicOp is a boolean operator used by LOP and the SETP combine stage.
+type LogicOp uint8
+
+// Logic operators.
+const (
+	LogicAND LogicOp = iota
+	LogicOR
+	LogicXOR
+	LogicPASS // pass second operand through (LOP.PASS_B)
+	LogicNOT  // bitwise complement of second operand
+)
+
+var logicNames = [...]string{"AND", "OR", "XOR", "PASS_B", "NOT"}
+
+func (l LogicOp) String() string {
+	if int(l) < len(logicNames) {
+		return logicNames[l]
+	}
+	return fmt.Sprintf("LOGIC(%d)", uint8(l))
+}
+
+// LogicByName resolves a logic mnemonic.
+func LogicByName(s string) (LogicOp, bool) {
+	for i, n := range logicNames {
+		if n == s {
+			return LogicOp(i), true
+		}
+	}
+	return 0, false
+}
+
+// AtomOp selects the read-modify-write function of ATOM/ATOMS/RED.
+type AtomOp uint8
+
+// Atomic operators.
+const (
+	AtomADD AtomOp = iota
+	AtomMIN
+	AtomMAX
+	AtomAND
+	AtomOR
+	AtomXOR
+	AtomEXCH
+	AtomCAS
+)
+
+var atomNames = [...]string{"ADD", "MIN", "MAX", "AND", "OR", "XOR", "EXCH", "CAS"}
+
+func (a AtomOp) String() string {
+	if int(a) < len(atomNames) {
+		return atomNames[a]
+	}
+	return fmt.Sprintf("ATOMOP(%d)", uint8(a))
+}
+
+// AtomByName resolves an atomic-op mnemonic.
+func AtomByName(s string) (AtomOp, bool) {
+	for i, n := range atomNames {
+		if n == s {
+			return AtomOp(i), true
+		}
+	}
+	return 0, false
+}
+
+// MufuFunc selects the MUFU special function.
+type MufuFunc uint8
+
+// MUFU special functions.
+const (
+	MufuRCP MufuFunc = iota
+	MufuRSQ
+	MufuSQRT
+	MufuSIN
+	MufuCOS
+	MufuEX2
+	MufuLG2
+)
+
+var mufuNames = [...]string{"RCP", "RSQ", "SQRT", "SIN", "COS", "EX2", "LG2"}
+
+func (f MufuFunc) String() string {
+	if int(f) < len(mufuNames) {
+		return mufuNames[f]
+	}
+	return fmt.Sprintf("MUFU(%d)", uint8(f))
+}
+
+// MufuByName resolves a MUFU function mnemonic.
+func MufuByName(s string) (MufuFunc, bool) {
+	for i, n := range mufuNames {
+		if n == s {
+			return MufuFunc(i), true
+		}
+	}
+	return 0, false
+}
+
+// VoteMode selects the VOTE collective.
+type VoteMode uint8
+
+// VOTE modes.
+const (
+	VoteALL VoteMode = iota
+	VoteANY
+	VoteBALLOT
+)
+
+var voteNames = [...]string{"ALL", "ANY", "BALLOT"}
+
+func (v VoteMode) String() string {
+	if int(v) < len(voteNames) {
+		return voteNames[v]
+	}
+	return fmt.Sprintf("VOTE(%d)", uint8(v))
+}
+
+// VoteByName resolves a VOTE mode mnemonic.
+func VoteByName(s string) (VoteMode, bool) {
+	for i, n := range voteNames {
+		if n == s {
+			return VoteMode(i), true
+		}
+	}
+	return 0, false
+}
+
+// ShflMode selects the SHFL data movement pattern.
+type ShflMode uint8
+
+// SHFL modes.
+const (
+	ShflIDX ShflMode = iota
+	ShflUP
+	ShflDOWN
+	ShflBFLY
+)
+
+var shflNames = [...]string{"IDX", "UP", "DOWN", "BFLY"}
+
+func (s ShflMode) String() string {
+	if int(s) < len(shflNames) {
+		return shflNames[s]
+	}
+	return fmt.Sprintf("SHFL(%d)", uint8(s))
+}
+
+// ShflByName resolves a SHFL mode mnemonic.
+func ShflByName(s string) (ShflMode, bool) {
+	for i, n := range shflNames {
+		if n == s {
+			return ShflMode(i), true
+		}
+	}
+	return 0, false
+}
+
+// SpecialReg identifies an S2R-readable special register.
+type SpecialReg uint8
+
+// Special registers.
+const (
+	SRLaneID SpecialReg = iota
+	SRTidX
+	SRTidY
+	SRTidZ
+	SRCtaidX
+	SRCtaidY
+	SRCtaidZ
+	SRNTidX
+	SRNTidY
+	SRNTidZ
+	SRNCtaidX
+	SRNCtaidY
+	SRNCtaidZ
+	SRWarpID
+	SRSMID
+	SRClock
+)
+
+var srNames = [...]string{
+	"SR_LANEID", "SR_TID.X", "SR_TID.Y", "SR_TID.Z",
+	"SR_CTAID.X", "SR_CTAID.Y", "SR_CTAID.Z",
+	"SR_NTID.X", "SR_NTID.Y", "SR_NTID.Z",
+	"SR_NCTAID.X", "SR_NCTAID.Y", "SR_NCTAID.Z",
+	"SR_WARPID", "SR_SMID", "SR_CLOCK",
+}
+
+func (s SpecialReg) String() string {
+	if int(s) < len(srNames) {
+		return srNames[s]
+	}
+	return fmt.Sprintf("SR(%d)", uint8(s))
+}
+
+// SpecialRegByName resolves a special-register name.
+func SpecialRegByName(name string) (SpecialReg, bool) {
+	for i, n := range srNames {
+		if n == name {
+			return SpecialReg(i), true
+		}
+	}
+	return 0, false
+}

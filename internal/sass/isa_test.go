@@ -1,0 +1,165 @@
+package sass
+
+import "testing"
+
+func TestOpcodeClassification(t *testing.T) {
+	cases := []struct {
+		op                                           Opcode
+		mem, memR, memW, ctrl, sync, numeric, atomic bool
+	}{
+		{op: OpNOP},
+		{op: OpIADD, numeric: true},
+		{op: OpIMAD, numeric: true},
+		{op: OpLOP, numeric: true},
+		{op: OpSHL, numeric: true},
+		{op: OpPOPC, numeric: true},
+		{op: OpFADD, numeric: true},
+		{op: OpFFMA, numeric: true},
+		{op: OpMUFU, numeric: true},
+		{op: OpF2I, numeric: true},
+		{op: OpMOV},
+		{op: OpS2R},
+		{op: OpISETP},
+		{op: OpLD, mem: true, memR: true},
+		{op: OpST, mem: true, memW: true},
+		{op: OpLDG, mem: true, memR: true},
+		{op: OpSTG, mem: true, memW: true},
+		{op: OpLDL, mem: true, memR: true},
+		{op: OpSTL, mem: true, memW: true},
+		{op: OpLDS, mem: true, memR: true},
+		{op: OpSTS, mem: true, memW: true},
+		{op: OpLDC, mem: true, memR: true},
+		{op: OpATOM, mem: true, memR: true, memW: true, atomic: true},
+		{op: OpATOMS, mem: true, memR: true, memW: true, atomic: true},
+		{op: OpRED, mem: true, memW: true, atomic: true},
+		{op: OpTLD, mem: true, memR: true},
+		{op: OpBRA, ctrl: true},
+		{op: OpSSY, sync: true},
+		{op: OpSYNC, ctrl: true, sync: true},
+		{op: OpCAL, ctrl: true},
+		{op: OpJCAL, ctrl: true},
+		{op: OpRET, ctrl: true},
+		{op: OpEXIT, ctrl: true},
+		{op: OpBAR, sync: true},
+		{op: OpVOTE},
+		{op: OpSHFL},
+	}
+	for _, c := range cases {
+		if got := c.op.IsMem(); got != c.mem {
+			t.Errorf("%s.IsMem() = %v, want %v", c.op, got, c.mem)
+		}
+		if got := c.op.IsMemRead(); got != c.memR {
+			t.Errorf("%s.IsMemRead() = %v, want %v", c.op, got, c.memR)
+		}
+		if got := c.op.IsMemWrite(); got != c.memW {
+			t.Errorf("%s.IsMemWrite() = %v, want %v", c.op, got, c.memW)
+		}
+		if got := c.op.IsControlXfer(); got != c.ctrl {
+			t.Errorf("%s.IsControlXfer() = %v, want %v", c.op, got, c.ctrl)
+		}
+		if got := c.op.IsSync(); got != c.sync {
+			t.Errorf("%s.IsSync() = %v, want %v", c.op, got, c.sync)
+		}
+		if got := c.op.IsNumeric(); got != c.numeric {
+			t.Errorf("%s.IsNumeric() = %v, want %v", c.op, got, c.numeric)
+		}
+		if got := c.op.IsAtomic(); got != c.atomic {
+			t.Errorf("%s.IsAtomic() = %v, want %v", c.op, got, c.atomic)
+		}
+	}
+}
+
+func TestOpcodeSpillOrFill(t *testing.T) {
+	for op := Opcode(0); op < opCount; op++ {
+		want := op == OpLDL || op == OpSTL
+		if got := op.IsSpillOrFill(); got != want {
+			t.Errorf("%s.IsSpillOrFill() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpcodeTexture(t *testing.T) {
+	for op := Opcode(0); op < opCount; op++ {
+		want := op == OpTLD
+		if got := op.IsTexture(); got != want {
+			t.Errorf("%s.IsTexture() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestOpcodeNamesRoundtrip(t *testing.T) {
+	for op := Opcode(0); op < opCount; op++ {
+		name := op.String()
+		back, ok := OpcodeByName(name)
+		if !ok {
+			t.Errorf("OpcodeByName(%q) not found", name)
+			continue
+		}
+		if back != op {
+			t.Errorf("OpcodeByName(%q) = %v, want %v", name, back, op)
+		}
+	}
+	if _, ok := OpcodeByName("NOTANOP"); ok {
+		t.Error("bogus opcode name resolved")
+	}
+}
+
+func TestCmpNamesRoundtrip(t *testing.T) {
+	for c := CmpLT; c <= CmpNE; c++ {
+		back, ok := CmpByName(c.String())
+		if !ok || back != c {
+			t.Errorf("cmp %v roundtrip failed", c)
+		}
+	}
+}
+
+func TestLogicNamesRoundtrip(t *testing.T) {
+	for l := LogicAND; l <= LogicNOT; l++ {
+		back, ok := LogicByName(l.String())
+		if !ok || back != l {
+			t.Errorf("logic %v roundtrip failed", l)
+		}
+	}
+}
+
+func TestAtomNamesRoundtrip(t *testing.T) {
+	for a := AtomADD; a <= AtomCAS; a++ {
+		back, ok := AtomByName(a.String())
+		if !ok || back != a {
+			t.Errorf("atom %v roundtrip failed", a)
+		}
+	}
+}
+
+func TestMufuNamesRoundtrip(t *testing.T) {
+	for f := MufuRCP; f <= MufuLG2; f++ {
+		back, ok := MufuByName(f.String())
+		if !ok || back != f {
+			t.Errorf("mufu %v roundtrip failed", f)
+		}
+	}
+}
+
+func TestVoteShflNamesRoundtrip(t *testing.T) {
+	for v := VoteALL; v <= VoteBALLOT; v++ {
+		back, ok := VoteByName(v.String())
+		if !ok || back != v {
+			t.Errorf("vote %v roundtrip failed", v)
+		}
+	}
+	for s := ShflIDX; s <= ShflBFLY; s++ {
+		back, ok := ShflByName(s.String())
+		if !ok || back != s {
+			t.Errorf("shfl %v roundtrip failed", s)
+		}
+	}
+}
+
+func TestSpecialRegNamesRoundtrip(t *testing.T) {
+	for sr := SRLaneID; sr <= SRClock; sr++ {
+		back, ok := SpecialRegByName(sr.String())
+		if !ok || back != sr {
+			t.Errorf("special reg %v roundtrip failed", sr)
+		}
+	}
+}

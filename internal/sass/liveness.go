@@ -1,0 +1,240 @@
+package sass
+
+// Liveness computes, per instruction, which GPRs and predicate registers
+// are live (may be read before being overwritten on some path). SASSI uses
+// this to spill exactly the live state at each instrumentation site —
+// "the compiler knows exactly which registers to spill" (§3.2) — which is
+// the key efficiency advantage over binary rewriting.
+
+import "math/bits"
+
+// RegSet is a dense bitset over the 256 GPR numbers.
+type RegSet [4]uint64
+
+// Add inserts register r.
+func (s *RegSet) Add(r uint8) { s[r>>6] |= 1 << (r & 63) }
+
+// Remove deletes register r.
+func (s *RegSet) Remove(r uint8) { s[r>>6] &^= 1 << (r & 63) }
+
+// Has reports whether register r is in the set.
+func (s *RegSet) Has(r uint8) bool { return s[r>>6]&(1<<(r&63)) != 0 }
+
+// Union merges o into s and reports whether s changed.
+func (s *RegSet) Union(o *RegSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | o[i]
+		if n != s[i] {
+			changed = true
+			s[i] = n
+		}
+	}
+	return changed
+}
+
+// Regs returns the member registers in ascending order.
+func (s *RegSet) Regs() []uint8 {
+	var out []uint8
+	for w := 0; w < 4; w++ {
+		word := s[w]
+		for word != 0 {
+			r := uint8(w<<6) + uint8(bits.TrailingZeros64(word))
+			out = append(out, r)
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Count returns the set cardinality.
+func (s *RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// PredSet is a bitset over the 8 predicate register numbers.
+type PredSet uint8
+
+// Add inserts predicate p.
+func (s *PredSet) Add(p uint8) { *s |= 1 << p }
+
+// Remove deletes predicate p.
+func (s *PredSet) Remove(p uint8) { *s &^= 1 << p }
+
+// Has reports whether predicate p is in the set.
+func (s PredSet) Has(p uint8) bool { return s&(1<<p) != 0 }
+
+// Union merges o into s and reports whether s changed.
+func (s *PredSet) Union(o PredSet) bool {
+	n := *s | o
+	changed := n != *s
+	*s = n
+	return changed
+}
+
+// Preds returns member predicates in ascending order.
+func (s PredSet) Preds() []uint8 {
+	var out []uint8
+	for p := uint8(0); p < 8; p++ {
+		if s.Has(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Count returns the set cardinality.
+func (s PredSet) Count() int {
+	n := 0
+	for p := uint8(0); p < 8; p++ {
+		if s.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveInfo holds the per-instruction liveness results for a kernel.
+type LiveInfo struct {
+	// LiveIn[i] is the set of GPRs live immediately before instruction i.
+	LiveIn []RegSet
+	// PredLiveIn[i] is the set of predicate registers live before i.
+	PredLiveIn []PredSet
+	// CCLiveIn[i] reports whether the condition code is live before i.
+	CCLiveIn []bool
+}
+
+// instrDefsUses computes the def and use sets of one instruction. A
+// predicated instruction's definition is treated as a partial def (the old
+// value survives in inactive threads), so guarded defs do not kill.
+func instrDefsUses(in *Instruction) (def, use RegSet, pdef, puse PredSet, ccDef, ccUse bool) {
+	for _, r := range in.GPRSrcs() {
+		use.Add(r)
+	}
+	for _, r := range in.GPRDsts() {
+		if r == RZ {
+			continue
+		}
+		if in.Guard.IsAlways() {
+			def.Add(r)
+		} else {
+			// Partial def: conservatively also a use (merge semantics).
+			use.Add(r)
+		}
+	}
+	for _, p := range in.PredSrcs() {
+		puse.Add(p)
+	}
+	for _, p := range in.PredDsts() {
+		if in.Guard.IsAlways() {
+			pdef.Add(p)
+		} else {
+			puse.Add(p)
+		}
+	}
+	if in.Mods.SetCC {
+		ccDef = in.Guard.IsAlways()
+		if !ccDef {
+			ccUse = true
+		}
+	}
+	if in.Mods.X {
+		ccUse = true
+	}
+	// SP is implicitly live throughout any kernel that has a stack; callers
+	// that care add it explicitly. JCAL/CAL clobber the ABI scratch regs but
+	// SASSI inserts those itself, so no special casing here.
+	return
+}
+
+// ComputeLiveness runs backward dataflow over the CFG to a fixed point.
+func ComputeLiveness(cfg *CFG) *LiveInfo {
+	k := cfg.Kernel
+	n := len(k.Instrs)
+	li := &LiveInfo{
+		LiveIn:     make([]RegSet, n),
+		PredLiveIn: make([]PredSet, n),
+		CCLiveIn:   make([]bool, n),
+	}
+	// Block-level out sets.
+	blockOut := make([]RegSet, len(cfg.Blocks))
+	blockPredOut := make([]PredSet, len(cfg.Blocks))
+	blockCCOut := make([]bool, len(cfg.Blocks))
+
+	// Precompute per-instruction def/use.
+	defs := make([]RegSet, n)
+	uses := make([]RegSet, n)
+	pdefs := make([]PredSet, n)
+	puses := make([]PredSet, n)
+	ccdefs := make([]bool, n)
+	ccuses := make([]bool, n)
+	for i := range k.Instrs {
+		defs[i], uses[i], pdefs[i], puses[i], ccdefs[i], ccuses[i] = instrDefsUses(&k.Instrs[i])
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for bi := len(cfg.Blocks) - 1; bi >= 0; bi-- {
+			b := cfg.Blocks[bi]
+			var out RegSet
+			var pout PredSet
+			ccout := false
+			for _, s := range b.Succs {
+				sb := cfg.Blocks[s]
+				if sb.Start < n {
+					out.Union(&li.LiveIn[sb.Start])
+					pout.Union(li.PredLiveIn[sb.Start])
+					ccout = ccout || li.CCLiveIn[sb.Start]
+				}
+			}
+			blockOut[bi] = out
+			blockPredOut[bi] = pout
+			blockCCOut[bi] = ccout
+			// Walk the block backward.
+			live := out
+			plive := pout
+			cclive := ccout
+			for i := b.End - 1; i >= b.Start; i-- {
+				for _, r := range defs[i].Regs() {
+					live.Remove(r)
+				}
+				live.Union(&uses[i])
+				for _, p := range pdefs[i].Preds() {
+					plive.Remove(p)
+				}
+				plive.Union(puses[i])
+				if ccdefs[i] {
+					cclive = false
+				}
+				if ccuses[i] {
+					cclive = true
+				}
+				if live != li.LiveIn[i] {
+					li.LiveIn[i] = live
+					changed = true
+				}
+				if plive != li.PredLiveIn[i] {
+					li.PredLiveIn[i] = plive
+					changed = true
+				}
+				if cclive != li.CCLiveIn[i] {
+					li.CCLiveIn[i] = cclive
+					changed = true
+				}
+			}
+		}
+	}
+	return li
+}
+
+// LiveAt returns the GPRs and predicates live immediately before
+// instruction idx (the state a SASSI injection site must preserve).
+func (li *LiveInfo) LiveAt(idx int) (gprs []uint8, preds []uint8, cc bool) {
+	s := li.LiveIn[idx]
+	return s.Regs(), li.PredLiveIn[idx].Preds(), li.CCLiveIn[idx]
+}

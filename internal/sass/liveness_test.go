@@ -1,0 +1,194 @@
+package sass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(254)
+	if !s.Has(0) || !s.Has(63) || !s.Has(64) || !s.Has(254) || s.Has(1) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 4 {
+		t.Errorf("count = %d", s.Count())
+	}
+	regs := s.Regs()
+	want := []uint8{0, 63, 64, 254}
+	if len(regs) != len(want) {
+		t.Fatalf("regs = %v", regs)
+	}
+	for i := range want {
+		if regs[i] != want[i] {
+			t.Errorf("regs[%d] = %d, want %d", i, regs[i], want[i])
+		}
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Error("remove failed")
+	}
+	var o RegSet
+	o.Add(5)
+	if !s.Union(&o) || !s.Has(5) {
+		t.Error("union failed")
+	}
+	if s.Union(&o) {
+		t.Error("idempotent union reported change")
+	}
+}
+
+func TestRegSetQuick(t *testing.T) {
+	f := func(rs []uint8) bool {
+		var s RegSet
+		seen := map[uint8]bool{}
+		for _, r := range rs {
+			s.Add(r)
+			seen[r] = true
+		}
+		if s.Count() != len(seen) {
+			return false
+		}
+		for r := range seen {
+			if !s.Has(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredSetOps(t *testing.T) {
+	var s PredSet
+	s.Add(0)
+	s.Add(6)
+	if !s.Has(0) || !s.Has(6) || s.Has(3) || s.Count() != 2 {
+		t.Error("pred set basic ops wrong")
+	}
+	if got := s.Preds(); len(got) != 2 || got[0] != 0 || got[1] != 6 {
+		t.Errorf("preds = %v", got)
+	}
+}
+
+// livenessOf is a helper computing liveness for a straight-line kernel.
+func livenessOf(t *testing.T, k *Kernel) *LiveInfo {
+	t.Helper()
+	cfg, err := BuildCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ComputeLiveness(cfg)
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	// R2 = R0+R1; R3 = R2+R0; EXIT  (R3 dead, R0 live until idx 1)
+	k := buildKernel(t, map[string]int{},
+		New(OpIADD, []Operand{R(2)}, []Operand{R(0), R(1)}),
+		New(OpIADD, []Operand{R(3)}, []Operand{R(2), R(0)}),
+		New(OpEXIT, nil, nil),
+	)
+	li := livenessOf(t, k)
+	gprs, _, _ := li.LiveAt(0)
+	if !contains(gprs, 0) || !contains(gprs, 1) {
+		t.Errorf("live at 0 = %v, want R0,R1", gprs)
+	}
+	if contains(gprs, 2) || contains(gprs, 3) {
+		t.Errorf("live at 0 = %v: dead values reported live", gprs)
+	}
+	gprs1, _, _ := li.LiveAt(1)
+	if !contains(gprs1, 2) || !contains(gprs1, 0) || contains(gprs1, 1) {
+		t.Errorf("live at 1 = %v, want R0,R2", gprs1)
+	}
+	gprs2, _, _ := li.LiveAt(2)
+	if len(gprs2) != 0 {
+		t.Errorf("live at EXIT = %v, want none", gprs2)
+	}
+}
+
+func TestLivenessAcrossLoop(t *testing.T) {
+	// R5 defined before the loop and used inside it must stay live across
+	// the backedge.
+	k := buildKernel(t, map[string]int{"head": 1, "sync": 4, "exit": 5},
+		New(OpMOV32, []Operand{R(5)}, []Operand{Imm(7)}),                                  // 0
+		New(OpISETP, []Operand{P(0)}, []Operand{R(5), Imm(10), P(PT)}),                    // 1 head (uses R5)
+		New(OpBRA, nil, []Operand{Label("sync")}).WithGuard(PredGuard{Reg: 0, Neg: true}), // 2
+		New(OpBRA, nil, []Operand{Label("head")}),                                         // 3 backedge
+		New(OpSYNC, nil, nil), // 4
+		New(OpEXIT, nil, nil), // 5
+	)
+	li := livenessOf(t, k)
+	for i := 1; i <= 3; i++ {
+		gprs, _, _ := li.LiveAt(i)
+		if !contains(gprs, 5) {
+			t.Errorf("R5 not live at %d (loop-carried)", i)
+		}
+	}
+}
+
+func TestLivenessPredicatedDefDoesNotKill(t *testing.T) {
+	// @P0 MOV R2, 1 is a partial def: R2's old value may survive, so R2
+	// must be treated as live before the predicated write if used after.
+	k := buildKernel(t, map[string]int{},
+		New(OpMOV32, []Operand{R(2)}, []Operand{Imm(0)}),                              // 0
+		New(OpMOV32, []Operand{R(2)}, []Operand{Imm(1)}).WithGuard(PredGuard{Reg: 0}), // 1
+		New(OpIADD, []Operand{R(3)}, []Operand{R(2), Imm(0)}),                         // 2
+		New(OpEXIT, nil, nil),
+	)
+	li := livenessOf(t, k)
+	gprs, _, _ := li.LiveAt(1)
+	if !contains(gprs, 2) {
+		t.Errorf("R2 must be live across its own partial def; live=%v", gprs)
+	}
+}
+
+func TestLivenessPredicates(t *testing.T) {
+	k := buildKernel(t, map[string]int{},
+		New(OpISETP, []Operand{P(1)}, []Operand{R(0), Imm(1), P(PT)}),                      // 0 def P1
+		New(OpIADD, []Operand{R(2)}, []Operand{R(0), Imm(1)}).WithGuard(PredGuard{Reg: 1}), // 1 use P1
+		New(OpEXIT, nil, nil),
+	)
+	li := livenessOf(t, k)
+	_, preds0, _ := li.LiveAt(0)
+	if contains(preds0, 1) {
+		t.Errorf("P1 live before its def: %v", preds0)
+	}
+	_, preds1, _ := li.LiveAt(1)
+	if !contains(preds1, 1) {
+		t.Errorf("P1 not live at its use: %v", preds1)
+	}
+}
+
+func TestLivenessCC(t *testing.T) {
+	k := buildKernel(t, map[string]int{},
+		withMods(New(OpIADD, []Operand{R(2)}, []Operand{R(0), R(1)}), Mods{SetCC: true}), // 0
+		withMods(New(OpIADD, []Operand{R(3)}, []Operand{R(0), R(1)}), Mods{X: true}),     // 1 uses CC
+		New(OpEXIT, nil, nil),
+	)
+	li := livenessOf(t, k)
+	if li.CCLiveIn[0] {
+		t.Error("CC live before its def")
+	}
+	if !li.CCLiveIn[1] {
+		t.Error("CC not live between .CC and .X")
+	}
+}
+
+func withMods(in Instruction, m Mods) Instruction {
+	in.Mods = m
+	return in
+}
+
+func contains(rs []uint8, r uint8) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}

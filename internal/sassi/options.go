@@ -1,0 +1,137 @@
+package sassi
+
+import "sassi/internal/sass"
+
+// Where selects instrumentation sites, mirroring the paper's ptxas
+// command-line menu (§3.1): instrumentation can go before any and all
+// instructions, before instruction classes, after instructions other than
+// control transfers, at basic block headers, and at kernel entry/exit.
+type Where uint32
+
+// Site-selection flags; combine with bitwise OR.
+const (
+	// BeforeAll injects before every original instruction.
+	BeforeAll Where = 1 << iota
+	// BeforeMem injects before memory operations.
+	BeforeMem
+	// BeforeCondBranches injects before predicated BRA instructions.
+	BeforeCondBranches
+	// BeforeControlXfer injects before any control transfer.
+	BeforeControlXfer
+	// BeforeCalls injects before CAL/JCAL.
+	BeforeCalls
+	// BeforeRegWrites injects before instructions that write a GPR,
+	// predicate, or the condition code.
+	BeforeRegWrites
+	// BeforeRegReads injects before instructions that read a GPR.
+	BeforeRegReads
+	// AfterAll injects after every instruction except control transfers
+	// (the paper: "after all instructions other than branches and jumps").
+	AfterAll
+	// AfterRegWrites injects after instructions that write a GPR,
+	// predicate, or condition code (and are not control transfers).
+	AfterRegWrites
+	// AfterMem injects after memory operations.
+	AfterMem
+	// KernelEntry injects at the kernel's first instruction.
+	KernelEntry
+	// KernelExit injects before every EXIT.
+	KernelExit
+	// BBHeaders injects at every basic block head.
+	BBHeaders
+)
+
+// What selects the extra parameter object passed to the handler alongside
+// SASSIBeforeParams/SASSIAfterParams.
+type What uint32
+
+// Extra-info flags. At most one extra object is passed per site (matching
+// the two-argument handler signatures of the paper's case studies).
+const (
+	// PassNone passes only the before/after params object.
+	PassNone What = 0
+	// PassMemoryInfo passes a SASSIMemoryParams with the effective
+	// address, width, and access properties.
+	PassMemoryInfo What = 1 << iota
+	// PassCondBranchInfo passes a SASSICondBranchParams with the branch
+	// direction and targets.
+	PassCondBranchInfo
+	// PassRegisterInfo passes a SASSIRegisterParams with destination and
+	// source register numbers.
+	PassRegisterInfo
+)
+
+// Options configures one instrumentation run over a program.
+type Options struct {
+	// Where selects the sites.
+	Where Where
+	// What selects the extra parameter object.
+	What What
+
+	// BeforeHandler is the symbol JCAL'd at before-sites
+	// (conventionally "sassi_before_handler").
+	BeforeHandler string
+	// AfterHandler is the symbol JCAL'd at after-sites.
+	AfterHandler string
+
+	// Select, when non-nil, further filters sites chosen by Where.
+	Select func(k *sass.Kernel, idx int, in *sass.Instruction) bool
+
+	// Kernels, when non-empty, restricts instrumentation to the named
+	// kernels.
+	Kernels []string
+}
+
+func (o *Options) wantsKernel(name string) bool {
+	if len(o.Kernels) == 0 {
+		return true
+	}
+	for _, k := range o.Kernels {
+		if k == name {
+			return true
+		}
+	}
+	return false
+}
+
+// beforeSite reports whether instruction in should get before-injection.
+func (o *Options) beforeSite(in *sass.Instruction) bool {
+	w := o.Where
+	switch {
+	case w&BeforeAll != 0:
+		return true
+	case w&BeforeMem != 0 && in.Op.IsMem():
+		return true
+	case w&BeforeCondBranches != 0 && in.IsCondBranch():
+		return true
+	case w&BeforeControlXfer != 0 && in.Op.IsControlXfer():
+		return true
+	case w&BeforeCalls != 0 && in.Op.IsCall():
+		return true
+	case w&BeforeRegWrites != 0 && (in.WritesGPR() || in.WritesPred() || in.WritesCC()):
+		return true
+	case w&BeforeRegReads != 0 && len(in.GPRSrcs()) > 0:
+		return true
+	case w&KernelExit != 0 && in.Op == sass.OpEXIT:
+		return true
+	}
+	return false
+}
+
+// afterSite reports whether instruction in should get after-injection.
+// Control transfers never qualify.
+func (o *Options) afterSite(in *sass.Instruction) bool {
+	if in.Op.IsControlXfer() || in.Op == sass.OpBAR {
+		return false
+	}
+	w := o.Where
+	switch {
+	case w&AfterAll != 0:
+		return true
+	case w&AfterRegWrites != 0 && (in.WritesGPR() || in.WritesPred() || in.WritesCC()):
+		return true
+	case w&AfterMem != 0 && in.Op.IsMem():
+		return true
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package sassi
+
+import (
+	"sassi/internal/device"
+	"sassi/internal/mem"
+	"sassi/internal/sass"
+)
+
+// BeforeParams is the handler-side view of the SASSIBeforeParams object the
+// injected code built on the thread's stack. All accessors issue simulated
+// generic-memory reads against the object, exactly as compiled handler code
+// would. The same layout serves after-sites (SASSIAfterParams).
+type BeforeParams struct {
+	ctx  *device.Ctx
+	addr uint64 // generic address of the object
+}
+
+// NewBeforeParams wraps the object at a generic address (the value the ABI
+// passed in R4/R5).
+func NewBeforeParams(ctx *device.Ctx, addr uint64) BeforeParams {
+	return BeforeParams{ctx: ctx, addr: addr}
+}
+
+func (bp BeforeParams) u32(off int64) uint32 {
+	return bp.ctx.ReadGeneric32(bp.addr + uint64(off))
+}
+
+// ID returns the site's unique id.
+func (bp BeforeParams) ID() int32 { return int32(bp.u32(bpID)) }
+
+// InstrWillExecute reports whether the instrumented instruction's guard
+// passes for this thread.
+func (bp BeforeParams) InstrWillExecute() bool { return bp.u32(bpWillExec) != 0 }
+
+// FnAddr returns the kernel's pseudo base address.
+func (bp BeforeParams) FnAddr() int32 { return int32(bp.u32(bpFnAddr)) }
+
+// InsOffset returns the instruction's byte offset within the kernel.
+func (bp BeforeParams) InsOffset() int32 { return int32(bp.u32(bpInsOffset)) }
+
+// InsAddr returns FnAddr+InsOffset: a stable, unique instruction address
+// (the handlers' hash-table key, as in the paper's find(bp->GetInsAddr())).
+func (bp BeforeParams) InsAddr() int32 { return bp.FnAddr() + bp.InsOffset() }
+
+// InsEncoding returns the packed static-properties word.
+func (bp BeforeParams) InsEncoding() uint32 { return bp.u32(bpInsEncoding) }
+
+// Opcode returns the instrumented instruction's opcode.
+func (bp BeforeParams) Opcode() sass.Opcode { return sass.SummaryOpcode(bp.InsEncoding()) }
+
+// Classification queries, mirroring the paper's Figure 2(b) methods.
+
+// IsMem reports whether the instruction touches memory.
+func (bp BeforeParams) IsMem() bool { return sass.SummaryIsMem(bp.InsEncoding()) }
+
+// IsMemRead reports whether the instruction reads memory.
+func (bp BeforeParams) IsMemRead() bool { return sass.SummaryIsMemRead(bp.InsEncoding()) }
+
+// IsMemWrite reports whether the instruction writes memory.
+func (bp BeforeParams) IsMemWrite() bool { return sass.SummaryIsMemWrite(bp.InsEncoding()) }
+
+// IsSpillOrFill reports whether the instruction is a local (stack) access.
+func (bp BeforeParams) IsSpillOrFill() bool { return sass.SummaryIsSpillFill(bp.InsEncoding()) }
+
+// IsSurfaceMemory is always false in this model (no surface memory).
+func (bp BeforeParams) IsSurfaceMemory() bool { return false }
+
+// IsControlXfer reports whether the instruction may transfer control.
+func (bp BeforeParams) IsControlXfer() bool { return sass.SummaryIsCtrlXfer(bp.InsEncoding()) }
+
+// IsCondControlXfer reports whether it is a *conditional* control transfer.
+func (bp BeforeParams) IsCondControlXfer() bool {
+	return bp.IsControlXfer() && sass.SummaryIsGuarded(bp.InsEncoding())
+}
+
+// IsSync reports whether the instruction synchronizes.
+func (bp BeforeParams) IsSync() bool { return sass.SummaryIsSync(bp.InsEncoding()) }
+
+// IsNumeric reports whether the instruction does arithmetic.
+func (bp BeforeParams) IsNumeric() bool { return sass.SummaryIsNumeric(bp.InsEncoding()) }
+
+// IsTexture reports whether the instruction reads texture memory.
+func (bp BeforeParams) IsTexture() bool { return sass.SummaryIsTexture(bp.InsEncoding()) }
+
+// Register value access with spill-map resolution. Registers that the
+// injector spilled live in the object's spill slots; reading/writing them
+// must go through the slots so that handler writes survive the restore
+// sequence (how fault injection mutates ISA state, §8).
+
+// spillSlot returns the slot index holding register r, or -1.
+func (bp BeforeParams) spillSlot(r uint8) int {
+	n := int(bp.u32(bpSpillCount))
+	for slot := 0; slot < n && slot < 16; slot++ {
+		word := bp.u32(bpSpillRegs + int64(slot/4)*4)
+		if uint8(word>>(uint(slot%4)*8)) == r {
+			return slot
+		}
+	}
+	return -1
+}
+
+// GetRegValue reads GPR r's value at the instrumentation site.
+func (bp BeforeParams) GetRegValue(r uint8) uint32 {
+	if slot := bp.spillSlot(r); slot >= 0 {
+		return bp.u32(bpGPRSpill + int64(slot)*4)
+	}
+	return bp.ctx.ReadReg(r)
+}
+
+// SetRegValue writes GPR r, routing through the spill slot when needed so
+// the value is what the restore sequence reinstates.
+func (bp BeforeParams) SetRegValue(r uint8, v uint32) {
+	if slot := bp.spillSlot(r); slot >= 0 {
+		bp.ctx.WriteGeneric32(bp.addr+uint64(bpGPRSpill+int64(slot)*4), v)
+		return
+	}
+	bp.ctx.WriteReg(r, v)
+}
+
+// GetPredValue reads predicate p as spilled at the site.
+func (bp BeforeParams) GetPredValue(p uint8) bool {
+	return bp.u32(bpPRSpill)&(1<<p) != 0
+}
+
+// SetPredValue writes predicate p through the spill slot.
+func (bp BeforeParams) SetPredValue(p uint8, v bool) {
+	w := bp.u32(bpPRSpill)
+	if v {
+		w |= 1 << p
+	} else {
+		w &^= 1 << p
+	}
+	bp.ctx.WriteGeneric32(bp.addr+bpPRSpill, w)
+}
+
+// GetCCValue reads the condition code as spilled at the site.
+func (bp BeforeParams) GetCCValue() uint8 { return uint8(bp.u32(bpCCSpill)) & 0xf }
+
+// SetCCValue writes the condition code through the spill slot.
+func (bp BeforeParams) SetCCValue(v uint8) {
+	bp.ctx.WriteGeneric32(bp.addr+bpCCSpill, uint32(v&0xf))
+}
+
+// MemoryParams is the handler-side view of SASSIMemoryParams.
+type MemoryParams struct {
+	ctx  *device.Ctx
+	addr uint64
+}
+
+// NewMemoryParams wraps the object at a generic address.
+func NewMemoryParams(ctx *device.Ctx, addr uint64) MemoryParams {
+	return MemoryParams{ctx: ctx, addr: addr}
+}
+
+func (mp MemoryParams) u32(off int64) uint32 {
+	return mp.ctx.ReadGeneric32(mp.addr + uint64(off))
+}
+
+// Address returns the access's 64-bit effective (generic) address.
+func (mp MemoryParams) Address() uint64 {
+	return mp.ctx.ReadGeneric64(mp.addr + mpAddress)
+}
+
+// Width returns the per-thread access width in bytes.
+func (mp MemoryParams) Width() int { return int(mp.u32(mpWidth)) }
+
+// IsLoad reports whether the access reads memory.
+func (mp MemoryParams) IsLoad() bool { return sass.SummaryIsMemRead(mp.u32(mpProperties)) }
+
+// IsStore reports whether the access writes memory.
+func (mp MemoryParams) IsStore() bool { return sass.SummaryIsMemWrite(mp.u32(mpProperties)) }
+
+// IsAtomic reports whether the access is a read-modify-write.
+func (mp MemoryParams) IsAtomic() bool { return sass.SummaryIsAtomic(mp.u32(mpProperties)) }
+
+// Domain returns the statically known memory space (SpaceInvalid when the
+// op is generic and the space is only known from the address).
+func (mp MemoryParams) Domain() mem.Space { return mem.Space(mp.u32(mpDomain)) }
+
+// IsGlobal reports whether the effective address maps to global memory
+// (the __isGlobal check of the paper's Figure 6 handler).
+func (mp MemoryParams) IsGlobal() bool { return mem.IsGlobal(mp.Address()) }
+
+// CondBranchParams is the handler-side view of SASSICondBranchParams.
+type CondBranchParams struct {
+	ctx  *device.Ctx
+	addr uint64
+}
+
+// NewCondBranchParams wraps the object at a generic address.
+func NewCondBranchParams(ctx *device.Ctx, addr uint64) CondBranchParams {
+	return CondBranchParams{ctx: ctx, addr: addr}
+}
+
+// Direction reports whether this thread will take the branch
+// (the paper's brp->GetDirection()).
+func (cb CondBranchParams) Direction() bool {
+	return cb.ctx.ReadGeneric32(cb.addr+cbDirection) != 0
+}
+
+// TakenOffset returns the branch target's byte offset.
+func (cb CondBranchParams) TakenOffset() int32 {
+	return int32(cb.ctx.ReadGeneric32(cb.addr + cbTakenOffset))
+}
+
+// FallthroughOffset returns the fall-through instruction's byte offset.
+func (cb CondBranchParams) FallthroughOffset() int32 {
+	return int32(cb.ctx.ReadGeneric32(cb.addr + cbFallOffset))
+}
+
+// RegisterParams is the handler-side view of SASSIRegisterParams. Register
+// values resolve through the BeforeParams spill map, so the struct carries
+// its sibling object.
+type RegisterParams struct {
+	ctx  *device.Ctx
+	addr uint64
+	bp   BeforeParams
+}
+
+// NewRegisterParams wraps the object at a generic address.
+func NewRegisterParams(ctx *device.Ctx, addr uint64, bp BeforeParams) RegisterParams {
+	return RegisterParams{ctx: ctx, addr: addr, bp: bp}
+}
+
+func (rp RegisterParams) u32(off int64) uint32 {
+	return rp.ctx.ReadGeneric32(rp.addr + uint64(off))
+}
+
+// NumGPRDsts returns the number of destination GPRs.
+func (rp RegisterParams) NumGPRDsts() int { return int(rp.u32(rpNumDsts)) }
+
+// GPRDst returns the i-th destination register number.
+func (rp RegisterParams) GPRDst(i int) uint8 { return uint8(rp.u32(rpDstRegs + int64(i)*4)) }
+
+// NumGPRSrcs returns the number of source GPRs.
+func (rp RegisterParams) NumGPRSrcs() int { return int(rp.u32(rpNumSrcs)) }
+
+// GPRSrc returns the i-th source register number.
+func (rp RegisterParams) GPRSrc(i int) uint8 { return uint8(rp.u32(rpSrcRegs + int64(i)*4)) }
+
+// GetRegValue reads a register's value at the site (spill-aware).
+func (rp RegisterParams) GetRegValue(r uint8) uint32 { return rp.bp.GetRegValue(r) }
+
+// SetRegValue writes a register's value at the site (spill-aware).
+func (rp RegisterParams) SetRegValue(r uint8, v uint32) { rp.bp.SetRegValue(r, v) }

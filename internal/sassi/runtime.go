@@ -1,0 +1,104 @@
+package sassi
+
+import (
+	"fmt"
+
+	"sassi/internal/device"
+	"sassi/internal/sass"
+	"sassi/internal/sim"
+)
+
+// HandlerArgs carries the decoded ABI arguments into a handler. BP is
+// always present; exactly one of MP/CBP/RP is set when the site was
+// instrumented with a matching What flag, mirroring the two-pointer handler
+// signatures of the paper's case studies.
+type HandlerArgs struct {
+	BP  BeforeParams
+	MP  *MemoryParams
+	CBP *CondBranchParams
+	RP  *RegisterParams
+}
+
+// HandlerFunc is a user instrumentation handler: per-thread Go code, the
+// analog of the paper's CUDA handler functions.
+type HandlerFunc func(ctx *device.Ctx, args HandlerArgs)
+
+// Handler binds a symbol name to a handler function.
+type Handler struct {
+	// Name is the JCAL symbol (e.g. "sassi_before_handler").
+	Name string
+	// Fn is the per-thread handler body.
+	Fn HandlerFunc
+	// What tells the runtime how to interpret the second ABI argument;
+	// it must match the What used at instrumentation time.
+	What What
+	// Sequential runs lanes one after another instead of as concurrent
+	// goroutines. Only legal for handlers that use no warp collectives;
+	// the ablation benches measure the difference.
+	Sequential bool
+}
+
+// Runtime links handlers to an instrumented program and dispatches JCALs
+// from the simulator — the role the display driver + nvlink play for real
+// SASSI.
+type Runtime struct {
+	prog *sass.Program
+	byID map[int]*Handler
+}
+
+// NewRuntime creates a runtime for one instrumented program.
+func NewRuntime(prog *sass.Program) *Runtime {
+	return &Runtime{prog: prog, byID: make(map[int]*Handler)}
+}
+
+// Register links a handler to its symbol. Unresolved handler symbols fault
+// at JCAL time, like an unlinked reference.
+func (rt *Runtime) Register(h *Handler) error {
+	if h.Name == "" || h.Fn == nil {
+		return fmt.Errorf("sassi: handler needs a name and a function")
+	}
+	id, ok := rt.prog.Handlers[h.Name]
+	if !ok {
+		return fmt.Errorf("sassi: program has no JCAL site for symbol %q (was it instrumented?)", h.Name)
+	}
+	rt.byID[id] = h
+	return nil
+}
+
+// MustRegister is Register, panicking on error.
+func (rt *Runtime) MustRegister(h *Handler) {
+	if err := rt.Register(h); err != nil {
+		panic(err)
+	}
+}
+
+// Dispatch implements sim.Dispatcher: it runs the handler for every active
+// lane of the warp, decoding the ABI argument registers per lane.
+func (rt *Runtime) Dispatch(dev *sim.Device, w *sim.Warp, handlerID int) error {
+	h, ok := rt.byID[handlerID]
+	if !ok {
+		return fmt.Errorf("sassi: JCAL to unregistered handler id %d", handlerID)
+	}
+	return device.RunWarp(dev, w, w.ActiveMask(), !h.Sequential, func(c *device.Ctx) {
+		bpAddr := uint64(c.ReadReg(ABIArg0)) | uint64(c.ReadReg(ABIArg0+1))<<32
+		xpAddr := uint64(c.ReadReg(ABIArg1)) | uint64(c.ReadReg(ABIArg1+1))<<32
+		args := HandlerArgs{BP: NewBeforeParams(c, bpAddr)}
+		if xpAddr != 0 {
+			switch {
+			case h.What&PassMemoryInfo != 0:
+				mp := NewMemoryParams(c, xpAddr)
+				args.MP = &mp
+			case h.What&PassCondBranchInfo != 0:
+				cbp := NewCondBranchParams(c, xpAddr)
+				args.CBP = &cbp
+			case h.What&PassRegisterInfo != 0:
+				rp := NewRegisterParams(c, xpAddr, args.BP)
+				args.RP = &rp
+			}
+		}
+		h.Fn(c, args)
+	})
+}
+
+// Attach installs the runtime as the device's dispatcher.
+func (rt *Runtime) Attach(dev *sim.Device) { dev.Dispatcher = rt }

@@ -1,0 +1,258 @@
+// Package sim is a SIMT GPU simulator: it executes SASS programs
+// (internal/sass) over a device model with streaming multiprocessors,
+// 32-lane warps, a stack-based divergence/reconvergence mechanism, CTA-wide
+// barriers, predication, and the memory hierarchy of internal/mem.
+//
+// The simulator is functional-first (architecturally visible state is
+// exact) with a cycle-approximate timing model used only for relative
+// comparisons such as the paper's Table 3 overhead ratios.
+package sim
+
+import (
+	"fmt"
+
+	"sassi/internal/mem"
+)
+
+// WarpSize is the number of threads per warp (fixed, as on NVIDIA parts).
+const WarpSize = 32
+
+// Config describes the simulated GPU.
+type Config struct {
+	Name string
+
+	NumSMs          int
+	MaxCTAsPerSM    int
+	MaxThreadsPerSM int
+	SharedPerSM     int // bytes
+
+	// Memory system.
+	L1Bytes   uint64 // 0 disables L1 (global accesses go straight to L2)
+	L1Line    uint64
+	L1Ways    int
+	L1Latency int
+	L2Bytes   uint64
+	L2Line    uint64
+	L2Ways    int
+	L2Latency int
+	DRAMLat   int
+
+	// CoalesceBytes is the address-divergence granularity (paper: 32B).
+	CoalesceBytes uint64
+
+	// WatchdogWarpInstrs aborts a warp (as a hang) after this many dynamic
+	// instructions. Zero means a generous default.
+	WatchdogWarpInstrs uint64
+
+	// HandlerBodyCost is the cycle charge for one instrumentation-handler
+	// body invocation (the Go handler stands in for compiled CUDA whose
+	// instructions the simulator cannot count directly). The ABI setup and
+	// spill code around the call is real SASS and is charged exactly.
+	HandlerBodyCost int
+
+	// DefaultStackBytes is the per-thread local memory size when a kernel
+	// does not request more.
+	DefaultStackBytes int
+}
+
+// KeplerK10 approximates the paper's Tesla K10 G2 target (case studies
+// I-III ran there).
+func KeplerK10() Config {
+	return Config{
+		Name:   "tesla-k10-sim",
+		NumSMs: 8, MaxCTAsPerSM: 16, MaxThreadsPerSM: 2048, SharedPerSM: 48 << 10,
+		L1Bytes: 16 << 10, L1Line: 128, L1Ways: 4, L1Latency: 30,
+		L2Bytes: 512 << 10, L2Line: 128, L2Ways: 16, L2Latency: 160,
+		DRAMLat: 300, CoalesceBytes: 32,
+		WatchdogWarpInstrs: 200_000_000,
+		HandlerBodyCost:    32,
+		DefaultStackBytes:  4096,
+	}
+}
+
+// KeplerK20 approximates the Tesla K20 used by the error-injection study.
+func KeplerK20() Config {
+	c := KeplerK10()
+	c.Name = "tesla-k20-sim"
+	c.NumSMs = 13
+	c.L2Bytes = 1280 << 10
+	return c
+}
+
+// KeplerK40 approximates the Tesla K40m used for the Table 3 overhead runs.
+func KeplerK40() Config {
+	c := KeplerK10()
+	c.Name = "tesla-k40-sim"
+	c.NumSMs = 15
+	c.L2Bytes = 1536 << 10
+	return c
+}
+
+// MiniGPU is a small configuration for unit tests.
+func MiniGPU() Config {
+	c := KeplerK10()
+	c.Name = "mini-sim"
+	c.NumSMs = 2
+	c.MaxCTAsPerSM = 4
+	return c
+}
+
+func (c *Config) normalize() {
+	if c.NumSMs <= 0 {
+		c.NumSMs = 1
+	}
+	if c.MaxCTAsPerSM <= 0 {
+		c.MaxCTAsPerSM = 8
+	}
+	if c.MaxThreadsPerSM <= 0 {
+		c.MaxThreadsPerSM = 2048
+	}
+	if c.SharedPerSM <= 0 {
+		c.SharedPerSM = 48 << 10
+	}
+	if c.CoalesceBytes == 0 {
+		c.CoalesceBytes = 32
+	}
+	if c.WatchdogWarpInstrs == 0 {
+		c.WatchdogWarpInstrs = 200_000_000
+	}
+	if c.HandlerBodyCost == 0 {
+		c.HandlerBodyCost = 32
+	}
+	if c.DefaultStackBytes == 0 {
+		c.DefaultStackBytes = 4096
+	}
+	if c.L2Bytes == 0 {
+		c.L2Bytes = 512 << 10
+	}
+	if c.L2Line == 0 {
+		c.L2Line = 128
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 16
+	}
+}
+
+// Device is one simulated GPU: configuration, device memory, and the
+// shared levels of the memory hierarchy.
+type Device struct {
+	Cfg    Config
+	Global *mem.Global
+	L2     *mem.Cache
+	DRAM   *mem.DRAM
+	L1s    []*mem.Cache
+	Coal   *mem.Coalescer
+
+	// Dispatcher executes JCAL'd instrumentation handlers. Nil means any
+	// JCAL faults (no handlers linked).
+	Dispatcher Dispatcher
+
+	// MemWatch, when non-nil, observes every warp-level global memory
+	// access after coalescing (trace export, §9.4 "driving other
+	// simulators").
+	MemWatch func(pc int, res mem.Result, store bool)
+}
+
+// Dispatcher runs an instrumentation handler for one warp at a call site.
+type Dispatcher interface {
+	// Dispatch executes handler handlerID for the active lanes of w.
+	// The injected SASS has already marshalled arguments into the ABI
+	// registers (R4..R7) of each active lane.
+	Dispatch(dev *Device, w *Warp, handlerID int) error
+}
+
+// NewDevice builds a device from a config.
+func NewDevice(cfg Config) *Device {
+	cfg.normalize()
+	d := &Device{
+		Cfg:    cfg,
+		Global: mem.NewGlobal(),
+		DRAM:   &mem.DRAM{LatencyCycles: cfg.DRAMLat},
+		Coal:   mem.NewCoalescer(cfg.CoalesceBytes),
+	}
+	d.L2 = mem.NewCache("L2", cfg.L2Bytes, cfg.L2Line, cfg.L2Ways)
+	d.L1s = make([]*mem.Cache, cfg.NumSMs)
+	for i := range d.L1s {
+		if cfg.L1Bytes > 0 {
+			d.L1s[i] = mem.NewCache(fmt.Sprintf("L1.%d", i), cfg.L1Bytes, cfg.L1Line, cfg.L1Ways)
+		}
+	}
+	return d
+}
+
+// Alloc reserves device memory (cudaMalloc analog).
+func (d *Device) Alloc(size uint64, name string) uint64 { return d.Global.Alloc(size, name) }
+
+// KernelStats reports what one launch executed and (approximately) cost.
+type KernelStats struct {
+	Kernel string
+
+	// WarpInstrs counts warp-level instruction issues; ThreadInstrs counts
+	// per-lane executions (guard-enabled lanes only).
+	WarpInstrs   uint64
+	ThreadInstrs uint64
+
+	// InjectedWarpInstrs/InjectedThreadInstrs count only instructions the
+	// SASSI instrumentor inserted, so overhead can be attributed.
+	InjectedWarpInstrs   uint64
+	InjectedThreadInstrs uint64
+
+	// HandlerCalls counts instrumentation-handler invocations (warp level).
+	HandlerCalls uint64
+
+	// MaxWarpInstrs is the largest dynamic instruction count any single
+	// warp executed (used to calibrate fault-campaign watchdogs).
+	MaxWarpInstrs uint64
+
+	// GlobalTransactions counts coalesced global-memory line transactions.
+	GlobalTransactions uint64
+
+	// Cycles is the modeled kernel duration: the maximum busy-cycle count
+	// across SMs.
+	Cycles uint64
+	// SMCycles holds the per-SM busy cycles.
+	SMCycles []uint64
+
+	// CTAs and Threads record the launch geometry.
+	CTAs    int
+	Threads int
+}
+
+// ErrKind classifies how a kernel ended.
+type ErrKind int
+
+// Kernel termination kinds.
+const (
+	ErrNone     ErrKind = iota
+	ErrMemFault         // illegal address (paper: crash)
+	ErrHang             // watchdog fired
+	ErrInvalid          // illegal instruction / simulator limit
+	ErrAssert           // device-side assertion (workload-defined)
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrNone:
+		return "ok"
+	case ErrMemFault:
+		return "memory fault"
+	case ErrHang:
+		return "hang"
+	case ErrInvalid:
+		return "invalid operation"
+	case ErrAssert:
+		return "device assert"
+	}
+	return "unknown"
+}
+
+// KernelError is the launch-failure analog of a CUDA error status.
+type KernelError struct {
+	Kind   ErrKind
+	Kernel string
+	Detail string
+}
+
+func (e *KernelError) Error() string {
+	return fmt.Sprintf("kernel %s: %s: %s", e.Kernel, e.Kind, e.Detail)
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sassi/internal/mem"
+	"sassi/internal/sass"
+)
+
+// Dim3 is a CUDA-style 3D extent.
+type Dim3 struct{ X, Y, Z int }
+
+// D1 returns a 1-D extent.
+func D1(x int) Dim3 { return Dim3{X: x, Y: 1, Z: 1} }
+
+// D2 returns a 2-D extent.
+func D2(x, y int) Dim3 { return Dim3{X: x, Y: y, Z: 1} }
+
+// Count returns the total element count.
+func (d Dim3) Count() int {
+	x, y, z := d.X, d.Y, d.Z
+	if x < 1 {
+		x = 1
+	}
+	if y < 1 {
+		y = 1
+	}
+	if z < 1 {
+		z = 1
+	}
+	return x * y * z
+}
+
+// LaunchParams configures one kernel launch.
+type LaunchParams struct {
+	Grid  Dim3
+	Block Dim3
+
+	// Args holds one value per kernel parameter, in declaration order.
+	// 32-bit parameters use the low word.
+	Args []uint64
+
+	// SharedBytes is extra dynamic shared memory per CTA.
+	SharedBytes int
+
+	// StackBytes overrides the per-thread local memory size (0 = config
+	// default plus the kernel's static requirement).
+	StackBytes int
+}
+
+// Launch executes a kernel on the device and returns its statistics.
+func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (*KernelStats, error) {
+	k, ok := prog.Kernel(kernelName)
+	if !ok {
+		return nil, fmt.Errorf("sim: kernel %q not in program", kernelName)
+	}
+	if len(p.Args) != len(k.Params) {
+		return nil, fmt.Errorf("sim: kernel %q wants %d args, got %d", kernelName, len(k.Params), len(p.Args))
+	}
+	e := &engine{dev: d, prog: prog, k: k}
+	e.stats = &KernelStats{Kernel: kernelName, SMCycles: make([]uint64, d.Cfg.NumSMs)}
+	e.smCycles = e.stats.SMCycles
+	e.hier = make([]mem.Hierarchy, d.Cfg.NumSMs)
+	for i := range e.hier {
+		e.hier[i] = mem.Hierarchy{
+			L1: d.L1s[i], L2: d.L2, DRAM: d.DRAM,
+			L1Latency: d.Cfg.L1Latency, L2Latency: d.Cfg.L2Latency,
+		}
+	}
+
+	// Build constant bank 0: launch metadata then parameters.
+	cbSize := sass.ParamBase
+	for _, pd := range k.Params {
+		if end := pd.Offset + pd.Size; end > cbSize {
+			cbSize = end
+		}
+	}
+	e.cb = make([]byte, cbSize)
+	binary.LittleEndian.PutUint32(e.cb[sass.CBStackBase:], uint32(mem.LocalBase))
+	binary.LittleEndian.PutUint32(e.cb[sass.CBSharedBase:], uint32(mem.SharedBase))
+	for i, pd := range k.Params {
+		switch pd.Size {
+		case 8:
+			binary.LittleEndian.PutUint64(e.cb[pd.Offset:], p.Args[i])
+		default:
+			binary.LittleEndian.PutUint32(e.cb[pd.Offset:], uint32(p.Args[i]))
+		}
+	}
+
+	// Geometry.
+	grid, block := p.Grid, p.Block
+	normDim(&grid)
+	normDim(&block)
+	e.ntid = [3]uint32{uint32(block.X), uint32(block.Y), uint32(block.Z)}
+	e.nctaid = [3]uint32{uint32(grid.X), uint32(grid.Y), uint32(grid.Z)}
+	threadsPerCTA := block.Count()
+	numCTAs := grid.Count()
+	e.stats.CTAs = numCTAs
+	e.stats.Threads = numCTAs * threadsPerCTA
+
+	numRegs := k.NumRegs
+	if numRegs < 16 {
+		numRegs = 16
+	}
+	localBytes := p.StackBytes
+	if localBytes == 0 {
+		localBytes = k.LocalBytes + d.Cfg.DefaultStackBytes
+	}
+	sharedBytes := k.SharedBytes + p.SharedBytes
+	if sharedBytes > d.Cfg.SharedPerSM {
+		return nil, fmt.Errorf("sim: CTA needs %d shared bytes, SM has %d", sharedBytes, d.Cfg.SharedPerSM)
+	}
+
+	// Residency limit per SM.
+	maxResident := d.Cfg.MaxCTAsPerSM
+	if threadsPerCTA > 0 {
+		if byThreads := d.Cfg.MaxThreadsPerSM / threadsPerCTA; byThreads < maxResident {
+			maxResident = byThreads
+		}
+	}
+	if sharedBytes > 0 {
+		if byShared := d.Cfg.SharedPerSM / sharedBytes; byShared < maxResident {
+			maxResident = byShared
+		}
+	}
+	if maxResident < 1 {
+		maxResident = 1
+	}
+
+	// Distribute CTAs round-robin across SMs, then run each SM to
+	// completion. SMs are simulated one after another; their cycle
+	// counters accumulate independently so kernel time is max over SMs.
+	perSM := make([][]int, d.Cfg.NumSMs)
+	for c := 0; c < numCTAs; c++ {
+		sm := c % d.Cfg.NumSMs
+		perSM[sm] = append(perSM[sm], c)
+	}
+	for sm, ctas := range perSM {
+		if len(ctas) == 0 {
+			continue
+		}
+		if err := e.runSM(sm, ctas, grid, block, numRegs, localBytes, sharedBytes, maxResident); err != nil {
+			e.finishStats()
+			return e.stats, err
+		}
+	}
+	e.finishStats()
+	return e.stats, nil
+}
+
+func normDim(d *Dim3) {
+	if d.X < 1 {
+		d.X = 1
+	}
+	if d.Y < 1 {
+		d.Y = 1
+	}
+	if d.Z < 1 {
+		d.Z = 1
+	}
+}
+
+func (e *engine) finishStats() {
+	var maxCyc uint64
+	for _, c := range e.stats.SMCycles {
+		if c > maxCyc {
+			maxCyc = c
+		}
+	}
+	e.stats.Cycles = maxCyc
+}
+
+// buildCTA instantiates the threads and warps of one CTA.
+func (e *engine) buildCTA(ctaIdx int, grid, block Dim3, numRegs, localBytes, sharedBytes, sm int) *CTA {
+	cx := uint32(ctaIdx % grid.X)
+	cy := uint32(ctaIdx / grid.X % grid.Y)
+	cz := uint32(ctaIdx / (grid.X * grid.Y))
+	cta := &CTA{
+		Index: ctaIdx, CtaX: cx, CtaY: cy, CtaZ: cz,
+		Shared: mem.NewShared(sharedBytes),
+		SM:     sm,
+	}
+	threads := block.Count()
+	numWarps := (threads + WarpSize - 1) / WarpSize
+	for wi := 0; wi < numWarps; wi++ {
+		w := &Warp{CTA: cta, IDinCTA: wi}
+		for lane := 0; lane < WarpSize; lane++ {
+			flat := wi*WarpSize + lane
+			if flat >= threads {
+				break
+			}
+			t := newThread(numRegs, localBytes)
+			t.FlatTid = uint32(flat)
+			t.TidX = uint32(flat % block.X)
+			t.TidY = uint32(flat / block.X % block.Y)
+			t.TidZ = uint32(flat / (block.X * block.Y))
+			t.CtaX, t.CtaY, t.CtaZ = cx, cy, cz
+			t.LaneID = uint32(lane)
+			t.GlobalFlat = uint64(ctaIdx)*uint64(threads) + uint64(flat)
+			t.warp = w
+			w.Threads[lane] = t
+			w.Active |= 1 << lane
+			w.Alive |= 1 << lane
+		}
+		cta.Warps = append(cta.Warps, w)
+	}
+	return cta
+}
+
+// runSM executes all CTAs assigned to one SM, keeping up to maxResident
+// CTAs concurrently resident and interleaving their warps round-robin, one
+// instruction per warp per sweep.
+func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes, sharedBytes, maxResident int) error {
+	pending := ctas
+	var resident []*CTA
+	for len(pending) > 0 || len(resident) > 0 {
+		for len(resident) < maxResident && len(pending) > 0 {
+			resident = append(resident, e.buildCTA(pending[0], grid, block, numRegs, localBytes, sharedBytes, sm))
+			pending = pending[1:]
+		}
+		progress := false
+		for _, cta := range resident {
+			for _, w := range cta.Warps {
+				if w.Done || w.AtBarrier {
+					continue
+				}
+				if err := e.step(w); err != nil {
+					return err
+				}
+				progress = true
+			}
+			// Barrier release once every live warp has arrived.
+			if cta.barrierReady() {
+				arrived := false
+				for _, w := range cta.Warps {
+					if w.AtBarrier {
+						arrived = true
+						break
+					}
+				}
+				if arrived {
+					cta.releaseBarrier()
+					progress = true
+				}
+			}
+		}
+		// Retire completed CTAs.
+		live := resident[:0]
+		for _, cta := range resident {
+			if cta.liveWarps() > 0 {
+				live = append(live, cta)
+			}
+		}
+		resident = live
+		if !progress && len(resident) > 0 {
+			return &KernelError{Kind: ErrHang, Kernel: e.k.Name,
+				Detail: fmt.Sprintf("SM %d deadlocked (barrier divergence?)", sm)}
+		}
+	}
+	return nil
+}

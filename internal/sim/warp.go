@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math/bits"
+
+	"sassi/internal/mem"
+)
+
+// divKind distinguishes divergence-stack entry types.
+type divKind uint8
+
+const (
+	divSSY divKind = iota // reconvergence token pushed by SSY
+	divDEF                // deferred alternate path pushed by a divergent branch
+)
+
+// divEntry is one divergence-stack entry: a mask of lanes and the PC where
+// they resume.
+type divEntry struct {
+	kind divKind
+	pc   int
+	mask uint32
+}
+
+// Warp is a group of 32 threads executing in lockstep from a shared PC.
+type Warp struct {
+	CTA     *CTA
+	IDinCTA int
+
+	PC     int
+	Active uint32 // lanes executing at PC
+	Alive  uint32 // lanes that have not EXITed
+
+	Stack     []divEntry
+	CallStack []int
+
+	Threads [WarpSize]*Thread
+
+	AtBarrier bool
+	Done      bool
+
+	DynWarpInstrs uint64
+}
+
+// ActiveMask returns the current active lane mask.
+func (w *Warp) ActiveMask() uint32 { return w.Active }
+
+// NumActive returns the number of active lanes.
+func (w *Warp) NumActive() int { return bits.OnesCount32(w.Active) }
+
+// Thread returns the thread in the given lane (may be nil in a partial
+// trailing warp).
+func (w *Warp) Thread(lane int) *Thread { return w.Threads[lane] }
+
+// Lanes iterates the set bits of mask, calling fn with each lane index in
+// ascending order.
+func Lanes(mask uint32, fn func(lane int)) {
+	for m := mask; m != 0; m &= m - 1 {
+		fn(bits.TrailingZeros32(m))
+	}
+}
+
+// exitLanes removes lanes from the warp entirely (EXIT semantics): from the
+// active and alive masks and from every divergence-stack entry.
+func (w *Warp) exitLanes(mask uint32) {
+	w.Active &^= mask
+	w.Alive &^= mask
+	for i := range w.Stack {
+		w.Stack[i].mask &^= mask
+	}
+}
+
+// popToNonEmpty pops divergence-stack entries until one yields a non-empty
+// live mask, activating it. It reports false when the warp has fully
+// retired.
+func (w *Warp) popToNonEmpty() bool {
+	for len(w.Stack) > 0 {
+		e := w.Stack[len(w.Stack)-1]
+		w.Stack = w.Stack[:len(w.Stack)-1]
+		m := e.mask & w.Alive
+		if m != 0 {
+			w.Active = m
+			w.PC = e.pc
+			return true
+		}
+	}
+	w.Done = w.Alive == 0
+	if !w.Done && w.Active == 0 {
+		// No stack entries but live lanes with empty active mask cannot
+		// happen in well-formed programs; mark done defensively.
+		w.Done = true
+	}
+	return !w.Done && w.Active != 0
+}
+
+// CTA is one cooperative thread array (thread block) resident on an SM.
+type CTA struct {
+	Index            int // flat CTA index within the grid
+	CtaX, CtaY, CtaZ uint32
+	Shared           *mem.Shared
+	Warps            []*Warp
+	SM               int
+
+	barrierGen int
+}
+
+// liveWarps returns the warps that are neither done nor nil.
+func (c *CTA) liveWarps() int {
+	n := 0
+	for _, w := range c.Warps {
+		if !w.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// barrierReady reports whether every live warp has arrived at the barrier.
+func (c *CTA) barrierReady() bool {
+	for _, w := range c.Warps {
+		if !w.Done && !w.AtBarrier {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseBarrier lets all warps proceed past the barrier.
+func (c *CTA) releaseBarrier() {
+	c.barrierGen++
+	for _, w := range c.Warps {
+		w.AtBarrier = false
+	}
+}

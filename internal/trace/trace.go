@@ -1,0 +1,142 @@
+// Package trace implements the paper's §9.4 extension: SASSI-collected
+// low-level event traces that drive separate tools. A MemTracer observes
+// every coalesced global-memory transaction the simulator issues and
+// records a compact trace; a downstream consumer (here, a standalone cache
+// simulator) replays it — "a memory trace collected by SASSI can be used
+// to drive a memory hierarchy simulator".
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sassi/internal/mem"
+	"sassi/internal/sim"
+)
+
+// Event is one warp-level memory transaction set.
+type Event struct {
+	PC    int32
+	Store bool
+	Lines []uint64
+}
+
+// MemTracer records coalesced global accesses from a device.
+type MemTracer struct {
+	Events []Event
+	// MaxEvents caps the trace length (0 = unlimited).
+	MaxEvents int
+}
+
+// Attach hooks the tracer into a device's memory watch point.
+func (t *MemTracer) Attach(dev *sim.Device) {
+	dev.MemWatch = func(pc int, res mem.Result, store bool) {
+		if t.MaxEvents > 0 && len(t.Events) >= t.MaxEvents {
+			return
+		}
+		lines := append([]uint64(nil), res.Lines...)
+		t.Events = append(t.Events, Event{PC: int32(pc), Store: store, Lines: lines})
+	}
+}
+
+// Detach removes the hook.
+func (t *MemTracer) Detach(dev *sim.Device) { dev.MemWatch = nil }
+
+// Write serializes the trace in a compact binary format.
+func (t *MemTracer) Write(w io.Writer) error {
+	var hdr [8]byte
+	copy(hdr[:], "SASSITR1")
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(t.Events)))
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.PC))
+		flags := uint32(len(e.Lines)) << 1
+		if e.Store {
+			flags |= 1
+		}
+		binary.LittleEndian.PutUint32(buf[4:], flags)
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, l := range e.Lines {
+			binary.LittleEndian.PutUint64(buf[:], l)
+			if _, err := w.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*MemTracer, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if string(hdr[:]) != "SASSITR1" {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(buf[:])
+	t := &MemTracer{Events: make([]Event, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		e := Event{PC: int32(binary.LittleEndian.Uint32(buf[:4]))}
+		flags := binary.LittleEndian.Uint32(buf[4:])
+		e.Store = flags&1 != 0
+		count := int(flags >> 1)
+		e.Lines = make([]uint64, count)
+		for j := 0; j < count; j++ {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, err
+			}
+			e.Lines[j] = binary.LittleEndian.Uint64(buf[:])
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+// CacheSimResult summarizes a trace replay through a standalone cache.
+type CacheSimResult struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRate returns hits/accesses.
+func (r CacheSimResult) HitRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Accesses)
+}
+
+// ReplayCache drives a fresh cache model with the trace — the downstream
+// "other simulator" of §9.4.
+func ReplayCache(t *MemTracer, sizeBytes, lineBytes uint64, ways int) CacheSimResult {
+	c := mem.NewCache("replay", sizeBytes, lineBytes, ways)
+	for _, e := range t.Events {
+		for _, l := range e.Lines {
+			c.Access(l, e.Store)
+		}
+	}
+	return CacheSimResult{
+		Accesses: c.Stats.Accesses,
+		Hits:     c.Stats.Hits,
+		Misses:   c.Stats.Misses,
+	}
+}

@@ -1,0 +1,142 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sassi/internal/cuda"
+	"sassi/internal/mem"
+	"sassi/internal/ptx"
+	"sassi/internal/ptxas"
+	"sassi/internal/sim"
+	"sassi/internal/trace"
+)
+
+func TestTraceCapturesAccesses(t *testing.T) {
+	b := ptx.NewKernel("k")
+	out := b.ParamU64("out")
+	i := b.GlobalTidX()
+	v := b.LdGlobalU32(b.Index(out, i, 2), 0)
+	b.StGlobalU32(b.Index(out, i, 2), 0, b.AddI(v, 1))
+	m := ptx.NewModule()
+	m.Add(b.MustDone())
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cuda.NewContext(sim.MiniGPU())
+	tr := &trace.MemTracer{}
+	tr.Attach(ctx.Device())
+	buf := ctx.Malloc(4*64, "out")
+	if _, err := ctx.LaunchKernel(prog, "k", sim.LaunchParams{
+		Grid: sim.D1(2), Block: sim.D1(32), Args: []uint64{uint64(buf)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 warps x (1 load + 1 store) = 4 events.
+	if len(tr.Events) != 4 {
+		t.Fatalf("events = %d, want 4", len(tr.Events))
+	}
+	loads, stores := 0, 0
+	for _, e := range tr.Events {
+		if e.Store {
+			stores++
+		} else {
+			loads++
+		}
+		if len(e.Lines) == 0 {
+			t.Error("event with no lines")
+		}
+	}
+	if loads != 2 || stores != 2 {
+		t.Errorf("loads=%d stores=%d", loads, stores)
+	}
+	tr.Detach(ctx.Device())
+}
+
+func TestTraceMaxEvents(t *testing.T) {
+	tr := &trace.MemTracer{MaxEvents: 2}
+	dev := sim.NewDevice(sim.MiniGPU())
+	tr.Attach(dev)
+	for i := 0; i < 5; i++ {
+		dev.MemWatch(0, mem.Result{Lines: []uint64{1}, NumActive: 1}, false)
+	}
+	if len(tr.Events) != 2 {
+		t.Errorf("events = %d, want cap 2", len(tr.Events))
+	}
+}
+
+func TestTraceSerializationRoundtripQuick(t *testing.T) {
+	f := func(pcs []int32, stores []bool, lineSeed uint16) bool {
+		tr := &trace.MemTracer{}
+		n := len(pcs)
+		if n > 40 {
+			n = 40
+		}
+		for i := 0; i < n; i++ {
+			store := i < len(stores) && stores[i]
+			lines := make([]uint64, int(lineSeed)%5)
+			for j := range lines {
+				lines[j] = uint64(lineSeed) + uint64(j)*32
+			}
+			tr.Events = append(tr.Events, trace.Event{PC: pcs[i], Store: store, Lines: lines})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		back, err := trace.Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(back.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range back.Events {
+			a, b := back.Events[i], tr.Events[i]
+			if a.PC != b.PC || a.Store != b.Store {
+				return false
+			}
+			if len(a.Lines) != len(b.Lines) {
+				return false
+			}
+			if len(a.Lines) > 0 && !reflect.DeepEqual(a.Lines, b.Lines) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := trace.Read(bytes.NewReader([]byte("NOTATRACE16BYTE!"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReplayCacheMonotoneInSize(t *testing.T) {
+	tr := &trace.MemTracer{}
+	// Working set of 64 lines, accessed twice.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 64; i++ {
+			tr.Events = append(tr.Events, trace.Event{Lines: []uint64{uint64(i) * 128}})
+		}
+	}
+	small := trace.ReplayCache(tr, 2<<10, 128, 4)
+	big := trace.ReplayCache(tr, 64<<10, 128, 4)
+	if big.HitRate() <= small.HitRate() {
+		t.Errorf("bigger cache not better: %f vs %f", big.HitRate(), small.HitRate())
+	}
+	if big.Accesses != 128 {
+		t.Errorf("accesses = %d", big.Accesses)
+	}
+	// Second round should hit fully in the big cache: 64 misses, 64 hits.
+	if big.Hits != 64 || big.Misses != 64 {
+		t.Errorf("big cache hits=%d misses=%d", big.Hits, big.Misses)
+	}
+}

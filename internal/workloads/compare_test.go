@@ -1,0 +1,70 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+)
+
+func bytesOfF32(vals ...float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putF32(out[4*i:], v)
+	}
+	return out
+}
+
+func TestOutputsMatchExact(t *testing.T) {
+	s := &Spec{} // OutputTol == 0: bit-exact
+	a := []byte{1, 2, 3, 4}
+	b := []byte{1, 2, 3, 4}
+	if !s.OutputsMatch(a, b) {
+		t.Error("identical buffers mismatch")
+	}
+	b[2] = 9
+	if s.OutputsMatch(a, b) {
+		t.Error("differing buffers match in exact mode")
+	}
+	if s.OutputsMatch(a, a[:3]) {
+		t.Error("length mismatch matches")
+	}
+}
+
+func TestOutputsMatchTolerance(t *testing.T) {
+	s := &Spec{OutputTol: 1e-3}
+	a := bytesOfF32(100, -5, 0.25)
+	within := bytesOfF32(100.05, -5.001, 0.25)
+	if !s.OutputsMatch(a, within) {
+		t.Error("within-tolerance buffers mismatch")
+	}
+	beyond := bytesOfF32(101, -5, 0.25)
+	if s.OutputsMatch(a, beyond) {
+		t.Error("1% error accepted at 0.1% tolerance")
+	}
+	// A low-order mantissa flip of a float stays within tolerance — the
+	// fault-injection masking case.
+	v := float32(123.456)
+	flipped := math.Float32frombits(math.Float32bits(v) ^ 1)
+	if !s.OutputsMatch(bytesOfF32(v), bytesOfF32(flipped)) {
+		t.Error("single low mantissa bit flip rejected")
+	}
+	// An exponent flip is far outside tolerance.
+	blown := math.Float32frombits(math.Float32bits(v) ^ (1 << 30))
+	if s.OutputsMatch(bytesOfF32(v), bytesOfF32(blown)) {
+		t.Error("exponent flip accepted")
+	}
+}
+
+func TestF32SummaryRounding(t *testing.T) {
+	a := bytesOfF32(1, 2, 3, 4)
+	b := bytesOfF32(1.0000001, 2, 3, 4)
+	if f32Summary(a) != f32Summary(b) {
+		t.Error("tiny perturbation changed the rounded summary")
+	}
+	c := bytesOfF32(10, 2, 3, 4)
+	if f32Summary(a) == f32Summary(c) {
+		t.Error("large change did not move the summary")
+	}
+	if f32Summary(nil) != "mean=0" {
+		t.Error("empty summary wrong")
+	}
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if newRNG(0).next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := newRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		if f := r.f32(); f < 0 || f >= 1 {
+			t.Fatalf("f32 out of range: %f", f)
+		}
+	}
+	if r.intn(0) != 0 {
+		t.Error("intn(0) != 0")
+	}
+	fs := r.f32s(50, -2, 2)
+	for _, f := range fs {
+		if f < -2 || f >= 2 {
+			t.Fatalf("f32s out of range: %f", f)
+		}
+	}
+}
+
+// graphWellFormed checks CSR invariants.
+func graphWellFormed(t *testing.T, g *Graph) {
+	t.Helper()
+	if len(g.RowPtr) != g.N+1 {
+		t.Fatalf("rowptr length %d for %d nodes", len(g.RowPtr), g.N)
+	}
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v+1] < g.RowPtr[v] {
+			t.Fatalf("rowptr not monotone at %d", v)
+		}
+	}
+	if int(g.RowPtr[g.N]) != len(g.Cols) {
+		t.Fatalf("rowptr end %d != cols %d", g.RowPtr[g.N], len(g.Cols))
+	}
+	for _, c := range g.Cols {
+		if int(c) >= g.N {
+			t.Fatalf("edge to out-of-range node %d", c)
+		}
+	}
+}
+
+func TestGraphGenerators(t *testing.T) {
+	for _, ds := range []string{"1M", "NY", "SF", "UT", "other"} {
+		g := bfsGraph(ds)
+		graphWellFormed(t, g)
+		if g.Edges() == 0 {
+			t.Errorf("%s: empty graph", ds)
+		}
+	}
+	// Determinism.
+	a, b := bfsGraph("NY"), bfsGraph("NY")
+	if a.N != b.N || a.Edges() != b.Edges() {
+		t.Error("graph generation not deterministic")
+	}
+	// Distinct shapes: the road networks have lower max degree than the
+	// random graph has average degree.
+	rnd := bfsGraph("1M")
+	road := bfsGraph("NY")
+	maxDeg := func(g *Graph) int {
+		m := 0
+		for v := 0; v < g.N; v++ {
+			if d := int(g.RowPtr[v+1] - g.RowPtr[v]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(road) >= maxDeg(rnd) {
+		t.Errorf("road max degree %d >= random %d", maxDeg(road), maxDeg(rnd))
+	}
+}
+
+func TestCPUBFSLevels(t *testing.T) {
+	// Path graph 0->1->2->3.
+	g := &Graph{N: 4, RowPtr: []uint32{0, 1, 2, 3, 3}, Cols: []uint32{1, 2, 3}}
+	lv := cpuBFS(g, 0)
+	for i, want := range []uint32{0, 1, 2, 3} {
+		if lv[i] != want {
+			t.Errorf("level[%d] = %d", i, lv[i])
+		}
+	}
+	// Unreachable node.
+	g2 := &Graph{N: 3, RowPtr: []uint32{0, 1, 1, 1}, Cols: []uint32{1}}
+	lv2 := cpuBFS(g2, 0)
+	if lv2[2] != 0xffffffff {
+		t.Errorf("unreachable level = %d", lv2[2])
+	}
+}
+
+func TestSparseMatrixWellFormed(t *testing.T) {
+	m := genSparseRandom(100, 8, 3)
+	if m.Rows != 100 || len(m.RowPtr) != 101 {
+		t.Fatal("geometry wrong")
+	}
+	if int(m.RowPtr[100]) != len(m.Cols) || len(m.Cols) != len(m.Vals) {
+		t.Fatal("nnz bookkeeping wrong")
+	}
+	for _, c := range m.Cols {
+		if int(c) >= m.Rows {
+			t.Fatal("column out of range")
+		}
+	}
+}
+
+func TestFEMatrixShape(t *testing.T) {
+	m := genFEMatrix(4, 1)
+	if m.Rows != 64 {
+		t.Fatalf("rows = %d", m.Rows)
+	}
+	// Interior rows (there is exactly (4-2)^3 = 8) have 27 entries.
+	interior := 0
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1]-m.RowPtr[i] == 27 {
+			interior++
+		}
+	}
+	if interior != 8 {
+		t.Errorf("27-entry rows = %d, want 8", interior)
+	}
+}
+
+// TestELLEquivalenceQuick: converting CSR to ELL preserves the matrix (the
+// SpMV result is identical for any x).
+func TestELLEquivalenceQuick(t *testing.T) {
+	f := func(seed uint64, rowsSel uint8) bool {
+		rows := 8 + int(rowsSel%32)
+		m := genSparseRandom(rows, 4, seed|1)
+		e := toELL(m)
+		r := newRNG(seed ^ 0xABCD)
+		x := r.f32s(rows, -1, 1)
+		want := cpuSpMV(m, x)
+		// SpMV through the ELL representation.
+		got := make([]float32, rows)
+		for row := 0; row < rows; row++ {
+			var sum float32
+			for k := 0; k < e.PerRow; k++ {
+				sum += e.Vals[k*rows+row] * x[e.Cols[k*rows+row]]
+			}
+			got[row] = sum
+		}
+		for i := range got {
+			d := float64(got[i] - want[i])
+			if d < -1e-3 || d > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	if checksum([]byte("hello")) != checksum([]byte("hello")) {
+		t.Error("checksum unstable")
+	}
+	if checksum([]byte("hello")) == checksum([]byte("world")) {
+		t.Error("checksum trivially collides")
+	}
+}

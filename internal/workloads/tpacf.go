@@ -1,0 +1,129 @@
+package workloads
+
+import (
+	"fmt"
+
+	"sassi/internal/cuda"
+	"sassi/internal/ptx"
+	"sassi/internal/sass"
+	"sassi/internal/sim"
+)
+
+func init() { register(tpacfSpec()) }
+
+const tpacfBins = 16
+
+// tpacfSpec is Parboil tpacf's angular-correlation histogram: every thread
+// compares its point against a block of points, walks a data-dependent
+// threshold search to pick a histogram bin (heavy branch divergence), and
+// accumulates into a shared-memory histogram that is flushed with global
+// atomics. The paper's Table 1 shows tpacf among the most divergent codes.
+func tpacfSpec() *Spec {
+	return &Spec{
+		Name:     "parboil.tpacf",
+		Datasets: []string{"small"},
+		Build: func() (*ptx.Module, error) {
+			b := ptx.NewKernel("tpacf")
+			data := b.ParamU64("data") // 3 floats per point (unit vectors)
+			hist := b.ParamU64("hist") // tpacfBins uint32 bins
+			binB := b.ParamU64("bounds")
+			n := b.ParamU32("n")
+
+			histOff := b.F.AllocShared(tpacfBins * 4)
+
+			// Zero the shared histogram cooperatively.
+			tx := b.TidX()
+			b.If(b.SetpI(sass.CmpLT, tx, tpacfBins), func() {
+				b.StSharedU32(b.AddI(b.ShlI(tx, 2), int64(histOff)), 0, b.ImmU32(0))
+			})
+			b.Bar()
+
+			i := b.GlobalTidX()
+			b.If(b.Setp(sass.CmpLT, i, n), func() {
+				base := b.Index(data, b.Mul(i, b.ImmU32(3)), 2)
+				x1 := b.LdGlobalF32(base, 0)
+				y1 := b.LdGlobalF32(base, 4)
+				z1 := b.LdGlobalF32(base, 8)
+				j := b.Var(b.ImmU32(0))
+				b.While(func() ptx.Value { return b.Setp(sass.CmpLT, j, i) }, func() {
+					jb := b.Index(data, b.Mul(j, b.ImmU32(3)), 2)
+					x2 := b.LdGlobalF32(jb, 0)
+					y2 := b.LdGlobalF32(jb, 4)
+					z2 := b.LdGlobalF32(jb, 8)
+					dot := b.Fma(x1, x2, b.Fma(y1, y2, b.Mul(z1, z2)))
+					// Data-dependent threshold walk: k advances while
+					// dot < bounds[k] — the divergence source.
+					k := b.Var(b.ImmU32(0))
+					b.While(func() ptx.Value {
+						inRange := b.SetpI(sass.CmpLT, k, tpacfBins-1)
+						bound := b.LdGlobalF32(b.Index(binB, k, 2), 0)
+						below := b.Setp(sass.CmpLT, dot, bound)
+						return b.PAnd(inRange, below)
+					}, func() {
+						b.Assign(k, b.AddI(k, 1))
+					})
+					b.AtomAddShared(b.AddI(b.ShlI(k, 2), int64(histOff)), 0, b.ImmU32(1))
+					b.Assign(j, b.AddI(j, 1))
+				})
+			})
+			b.Bar()
+			// Flush shared histogram to global with atomics.
+			b.If(b.SetpI(sass.CmpLT, tx, tpacfBins), func() {
+				v := b.LdSharedU32(b.AddI(b.ShlI(tx, 2), int64(histOff)), 0)
+				b.AtomAddGlobal(b.Index(hist, tx, 2), 0, v)
+			})
+			f, err := b.Done()
+			if err != nil {
+				return nil, err
+			}
+			m := ptx.NewModule()
+			m.Add(f)
+			return m, nil
+		},
+		Run: func(ctx *cuda.Context, prog *sass.Program, dataset string) (*Result, error) {
+			const n = 384
+			r := newRNG(55)
+			pts := make([]float32, 3*n)
+			for i := 0; i < n; i++ {
+				// Crude unit-ish vectors; exact normalization is irrelevant.
+				x, y, z := r.f32()*2-1, r.f32()*2-1, r.f32()*2-1
+				pts[3*i], pts[3*i+1], pts[3*i+2] = x, y, z
+			}
+			bounds := make([]float32, tpacfBins)
+			for k := range bounds {
+				bounds[k] = 1 - float32(k+1)*(2.0/float32(tpacfBins))
+			}
+			dData := ctx.AllocF32("data", pts)
+			dHist := ctx.AllocU32("hist", make([]uint32, tpacfBins))
+			dBounds := ctx.AllocF32("bounds", bounds)
+			if _, err := ctx.LaunchKernel(prog, "tpacf", sim.LaunchParams{
+				Grid: sim.D1((n + 127) / 128), Block: sim.D1(128),
+				Args: []uint64{uint64(dData), uint64(dHist), uint64(dBounds), uint64(n)},
+			}); err != nil {
+				return nil, err
+			}
+			got, err := ctx.ReadU32(dHist, tpacfBins)
+			if err != nil {
+				return nil, err
+			}
+			// CPU reference.
+			want := make([]uint32, tpacfBins)
+			for i := 0; i < n; i++ {
+				for j := 0; j < i; j++ {
+					// Mirror the GPU's operation order bit-for-bit so bin
+					// boundaries agree: x*x + (y*y + z*z), float32 each step.
+					dot := pts[3*i]*pts[3*j] + (pts[3*i+1]*pts[3*j+1] + pts[3*i+2]*pts[3*j+2])
+					k := 0
+					for k < tpacfBins-1 && dot < bounds[k] {
+						k++
+					}
+					want[k]++
+				}
+			}
+			res := &Result{Output: u32Bytes(got)}
+			res.VerifyErr = compareU32(got, want, "tpacf hist")
+			res.Stdout = fmt.Sprintf("tpacf n=%d checksum=%08x\n", n, checksum(res.Output))
+			return res, nil
+		},
+	}
+}

@@ -1,0 +1,72 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"sassi/internal/cuda"
+	"sassi/internal/ptxas"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// TestAllWorkloadsVerify compiles and runs every registered workload on its
+// default dataset and checks the GPU results against the CPU references.
+func TestAllWorkloadsVerify(t *testing.T) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			prog, err := spec.Compile(ptxas.Options{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			ctx := cuda.NewContext(sim.MiniGPU())
+			res, err := spec.Run(ctx, prog, spec.DefaultDataset())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.VerifyErr != nil {
+				t.Fatalf("verification: %v", res.VerifyErr)
+			}
+			if res.Stdout == "" {
+				t.Error("empty stdout summary")
+			}
+			if len(res.Output) == 0 {
+				t.Error("empty output buffer")
+			}
+			if ctx.Launches() == 0 {
+				t.Error("no kernels launched")
+			}
+		})
+	}
+}
+
+// TestAllDatasetsVerify runs every dataset of every workload (more work;
+// kept separate so -short can skip it).
+func TestAllDatasetsVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, spec := range workloads.All() {
+		spec := spec
+		for _, ds := range spec.Datasets {
+			if ds == spec.DefaultDataset() {
+				continue // covered above
+			}
+			ds := ds
+			t.Run(spec.Name+"/"+ds, func(t *testing.T) {
+				prog, err := spec.Compile(ptxas.Options{})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				ctx := cuda.NewContext(sim.MiniGPU())
+				res, err := spec.Run(ctx, prog, ds)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if res.VerifyErr != nil {
+					t.Fatalf("verification: %v", res.VerifyErr)
+				}
+			})
+		}
+	}
+}
