@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 2015, "campaign seed for fig10")
 	faithful := flag.Bool("faithful-handlers", false, "use the collective (goroutine-per-lane) handlers instead of the fast sequential ones")
 	apps := flag.String("apps", "", "comma list restricting table2/table3/fig10 to specific workloads")
+	workers := flag.Int("workers", 0, "concurrent fig10 injection runs (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
 	var cfg sim.Config
@@ -44,7 +45,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown gpu %q\n", *gpu)
 		os.Exit(2)
 	}
-	env := experiments.Env{Config: cfg, Fast: !*faithful}
+	env := experiments.Default()
+	env.Config = cfg
+	env.Fast = !*faithful
+	env.Workers = *workers
 
 	var appList []string
 	if *apps != "" {

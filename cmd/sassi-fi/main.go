@@ -26,6 +26,7 @@ func main() {
 	n := flag.Int("n", 100, "number of injection runs (paper: 1000)")
 	seed := flag.Uint64("seed", 2015, "site-selection seed")
 	gpu := flag.String("gpu", "k20", "device model: k10, k20, k40, mini")
+	workers := flag.Int("workers", 0, "concurrent injection runs (0 = GOMAXPROCS); results are identical at any value")
 	flag.Parse()
 
 	spec, ok := workloads.Get(*workload)
@@ -55,6 +56,7 @@ func main() {
 	c := &faults.Campaign{
 		Spec: spec, Dataset: ds,
 		Injections: *n, Seed: *seed, Config: cfg,
+		Workers: *workers,
 	}
 	start := time.Now()
 	res, err := c.Run()

@@ -16,6 +16,7 @@ import (
 
 	"sassi/internal/cuda"
 	"sassi/internal/ptxas"
+	"sassi/internal/sass"
 	"sassi/internal/sassi"
 	"sassi/internal/sim"
 	"sassi/internal/workloads"
@@ -30,11 +31,18 @@ type Env struct {
 	// no per-lane goroutines). The paper-faithful collective handlers are
 	// used when false.
 	Fast bool
+	// Workers bounds campaign-level concurrency (Figure 10 fault
+	// injections). Zero means GOMAXPROCS; results are identical at any
+	// value.
+	Workers int
+	// Cache shares compiled programs across experiments; Default() installs
+	// one. Nil compiles fresh each time.
+	Cache *sassi.CompileCache
 }
 
 // Default returns the standard experiment environment.
 func Default() Env {
-	return Env{Config: sim.KeplerK10(), Fast: true}
+	return Env{Config: sim.KeplerK10(), Fast: true, Cache: sassi.NewCompileCache()}
 }
 
 // instrumentedRun compiles a workload, applies an instrumentation spec,
@@ -47,13 +55,32 @@ func instrumentedRun(env Env, workload, dataset string,
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", workload)
 	}
-	prog, err := spec.Compile(ptxas.Options{})
-	if err != nil {
-		return nil, err
-	}
 	ctx := cuda.NewContext(env.Config)
 	h, opts := setup(ctx)
-	if err := sassi.Instrument(prog, opts); err != nil {
+	// Cached programs are shared read-only, so instrumentation must happen
+	// inside the build closure; options carrying a Select closure are
+	// uncacheable and take the fresh-compile path.
+	var prog *sass.Program
+	var err error
+	if instKey, cacheable := opts.CacheKey(); env.Cache != nil && cacheable {
+		prog, err = env.Cache.Get(spec.InstrumentedKey(ptxas.Options{}, instKey),
+			func() (*sass.Program, error) {
+				p, berr := spec.Compile(ptxas.Options{})
+				if berr != nil {
+					return nil, berr
+				}
+				if berr := sassi.Instrument(p, opts); berr != nil {
+					return nil, berr
+				}
+				return p, nil
+			})
+	} else {
+		prog, err = spec.Compile(ptxas.Options{})
+		if err == nil {
+			err = sassi.Instrument(prog, opts)
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
 	rt := sassi.NewRuntime(prog)
@@ -79,7 +106,7 @@ func baselineRun(env Env, workload, dataset string) (*cuda.Context, time.Duratio
 	if !ok {
 		return nil, 0, fmt.Errorf("experiments: unknown workload %q", workload)
 	}
-	prog, err := spec.Compile(ptxas.Options{})
+	prog, err := spec.CompileCached(env.Cache, ptxas.Options{})
 	if err != nil {
 		return nil, 0, err
 	}

@@ -56,6 +56,7 @@ func Figure10(env Env, apps []string, injections int, seed uint64) ([]Fig10Row, 
 		c := &faults.Campaign{
 			Spec: spec, Dataset: dataset,
 			Injections: injections, Seed: seed, Config: env.Config,
+			Workers: env.Workers, Cache: env.Cache,
 		}
 		res, err := c.Run()
 		if err != nil {

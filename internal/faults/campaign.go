@@ -6,10 +6,14 @@ package faults
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sassi/internal/cuda"
 	"sassi/internal/handlers"
 	"sassi/internal/ptxas"
+	"sassi/internal/sass"
 	"sassi/internal/sassi"
 	"sassi/internal/sim"
 	"sassi/internal/workloads"
@@ -57,6 +61,19 @@ type Campaign struct {
 	// Targets weights the state classes; zero value means the paper's mix
 	// (GPRs dominate, predicates and CC for compare instructions).
 	Targets []handlers.InjectTarget
+
+	// Workers is the number of injection executions run concurrently, each
+	// on its own simulated device. Every run derives its RNG from (Seed,
+	// run index), so the outcome distribution is identical at any worker
+	// count. Zero means GOMAXPROCS; 1 runs serially.
+	Workers int
+
+	// Cache, when non-nil, is a shared compile cache; campaigns compile
+	// the workload exactly twice (uninstrumented golden + one instrumented
+	// program shared by the profiling run and every injection run), and a
+	// shared cache extends that sharing across campaigns. Nil uses a
+	// campaign-private cache.
+	Cache *sassi.CompileCache
 }
 
 // launchProfile records one launch's per-thread qualifying site counts.
@@ -98,8 +115,13 @@ func (c *Campaign) Run() (*Result, error) {
 	}
 	res := &Result{Workload: c.Spec.Name, Dataset: c.Dataset}
 
+	cache := c.Cache
+	if cache == nil {
+		cache = sassi.NewCompileCache()
+	}
+
 	// (0) Golden reference run, uninstrumented.
-	goldenProg, err := c.Spec.Compile(ptxas.Options{})
+	goldenProg, err := c.Spec.CompileCached(cache, ptxas.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -112,19 +134,22 @@ func (c *Campaign) Run() (*Result, error) {
 		return nil, fmt.Errorf("faults: golden run does not verify: %w", golden.VerifyErr)
 	}
 
-	// (1) Profiling run: count qualifying dynamic instructions per thread
-	// per launch.
-	profProg, err := c.Spec.Compile(ptxas.Options{})
+	// The profiling handler and the injector share one instrumentation
+	// descriptor (site selection is site-independent: "after register
+	// writes"), so a single instrumented program serves the profiling run
+	// and all N injection runs. Instrumentation happens inside the build
+	// closure — cached programs are shared read-only.
+	instProg, err := c.instrumentedProg(cache)
 	if err != nil {
 		return nil, err
 	}
+
+	// (1) Profiling run: count qualifying dynamic instructions per thread
+	// per launch.
 	profCtx := cuda.NewContext(c.Config)
 	maxThreads := maxLaunchThreads(goldenCtx)
 	prof := handlers.NewInjProfiler(profCtx, maxThreads)
-	if err := sassi.Instrument(profProg, prof.Options()); err != nil {
-		return nil, err
-	}
-	rt := sassi.NewRuntime(profProg)
+	rt := sassi.NewRuntime(instProg)
 	if err := rt.Register(prof.Handler()); err != nil {
 		return nil, err
 	}
@@ -151,7 +176,7 @@ func (c *Campaign) Run() (*Result, error) {
 			_ = profCtx.MemcpyHtoD(profPtr(prof), zero)
 		},
 	})
-	if _, err := c.Spec.Run(profCtx, profProg, c.Dataset); err != nil {
+	if _, err := c.Spec.Run(profCtx, instProg, c.Dataset); err != nil {
 		return nil, fmt.Errorf("faults: profiling run failed: %w", err)
 	}
 	var totalSites uint64
@@ -163,20 +188,89 @@ func (c *Campaign) Run() (*Result, error) {
 		return nil, fmt.Errorf("faults: workload %s has no injectable sites", c.Spec.Name)
 	}
 
-	// (2) Injection runs.
+	// (2) Injection runs, fanned out over a worker pool. Each run seeds its
+	// own RNG from (campaign seed, run index) and simulates on a private
+	// device, so site selection and outcome are a pure function of the run
+	// index: the per-run outcomes — not just the histogram — are identical
+	// at any worker count.
 	injCfg := c.Config
 	injCfg.WatchdogWarpInstrs = 20*maxWarpInstrs + 100_000
-	rng := newRNG(c.Seed)
-	for run := 0; run < c.Injections; run++ {
-		site := c.selectSite(profiles, rng)
-		outcome, err := c.injectOnce(site, injCfg, golden)
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Injections {
+		workers = c.Injections
+	}
+	outcomes := make([]Outcome, c.Injections)
+	errs := make([]error, c.Injections)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				run := int(next.Add(1)) - 1
+				if run >= c.Injections {
+					return
+				}
+				rng := newRNG(runSeed(c.Seed, run))
+				site := c.selectSite(profiles, rng)
+				outcomes[run], errs[run] = c.injectOnce(instProg, site, injCfg, golden)
+			}
+		}()
+	}
+	wg.Wait()
+	for run, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("faults: injection run %d: %w", run, err)
 		}
-		res.Counts[outcome]++
+	}
+	for _, o := range outcomes {
+		res.Counts[o]++
 		res.Total++
 	}
 	return res, nil
+}
+
+// instrumentedProg builds (or fetches) the campaign's single instrumented
+// program. The injection descriptor is site-independent ("after register
+// writes", register info, sassi_errorinj_handler), so the profiling run and
+// every injection run share it; per-run behavior comes entirely from the
+// registered handler's state.
+func (c *Campaign) instrumentedProg(cache *sassi.CompileCache) (*sass.Program, error) {
+	instOpts := (&handlers.Injector{}).Options()
+	instKey, ok := instOpts.CacheKey()
+	build := func() (*sass.Program, error) {
+		prog, err := c.Spec.Compile(ptxas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := sassi.Instrument(prog, instOpts); err != nil {
+			return nil, err
+		}
+		return prog, nil
+	}
+	if !ok {
+		// Unreachable today (injWhere carries no Select closure), but keep
+		// the uncacheable path honest.
+		return build()
+	}
+	return cache.Get(c.Spec.InstrumentedKey(ptxas.Options{}, instKey), build)
+}
+
+// runSeed derives the RNG seed for one injection run from the campaign seed
+// and the run index (splitmix64 finalizer), decorrelating runs while keeping
+// each a pure function of (Seed, run).
+func runSeed(seed uint64, run int) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*uint64(run+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
 }
 
 // selectSite samples a (launch, thread, dynamic-instruction) tuple
@@ -212,16 +306,10 @@ func (c *Campaign) selectSite(profiles []launchProfile, rng *prng) handlers.Inje
 	return handlers.InjectionSite{}
 }
 
-// injectOnce performs one armed run and classifies its outcome.
-func (c *Campaign) injectOnce(site handlers.InjectionSite, cfg sim.Config, golden *workloads.Result) (Outcome, error) {
-	prog, err := c.Spec.Compile(ptxas.Options{})
-	if err != nil {
-		return Masked, err
-	}
+// injectOnce performs one armed run on its own device and classifies the
+// outcome. prog is the shared instrumented program (read-only).
+func (c *Campaign) injectOnce(prog *sass.Program, site handlers.InjectionSite, cfg sim.Config, golden *workloads.Result) (Outcome, error) {
 	inj := handlers.NewInjector(site)
-	if err := sassi.Instrument(prog, inj.Options()); err != nil {
-		return Masked, err
-	}
 	ctx := cuda.NewContext(cfg)
 	// Lenient heap bounds: corrupted pointers land in mapped memory unless
 	// they leave the heap entirely, as on hardware.
@@ -239,7 +327,7 @@ func (c *Campaign) injectOnce(site handlers.InjectionSite, cfg sim.Config, golde
 		},
 		PostLaunch: func(kernel string, idx int, stats *sim.KernelStats, err error) {
 			if idx == site.Invocation {
-				inj.Armed = false
+				inj.Disarm()
 			}
 		},
 	})

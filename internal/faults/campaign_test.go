@@ -50,3 +50,35 @@ func TestCampaignVecAdd(t *testing.T) {
 		t.Error("expected at least some visible corruption across 30 injections")
 	}
 }
+
+// TestCampaignWorkerInvariance is the campaign-level determinism contract:
+// the same campaign run with 1, 4, and 8 workers must produce identical
+// outcome counts — per-run RNGs derive from (seed, run index), so site
+// selection never depends on scheduling.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	spec, ok := workloads.Get("demo.vecadd")
+	if !ok {
+		t.Fatal("vecadd not registered")
+	}
+	var want *faults.Result
+	for _, workers := range []int{1, 4, 8} {
+		c := &faults.Campaign{
+			Spec: spec, Dataset: "small",
+			Injections: 16, Seed: 99, Config: sim.MiniGPU(),
+			Workers: workers,
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			t.Logf("outcomes: %v (sites=%d)", res.Counts, res.SitesTotal)
+			continue
+		}
+		if res.Counts != want.Counts || res.SitesTotal != want.SitesTotal {
+			t.Errorf("workers=%d: counts %v (sites %d) != workers=1 counts %v (sites %d)",
+				workers, res.Counts, res.SitesTotal, want.Counts, want.SitesTotal)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package handlers
 
 import (
+	"sync/atomic"
+
 	"sassi/internal/cuda"
 	"sassi/internal/device"
 	"sassi/internal/sass"
@@ -107,23 +109,27 @@ const (
 
 // Injector is the second-phase handler: it counts qualifying instructions
 // on the selected thread and mutates architectural state at the selected
-// one. Armed is cleared after the flip so later launches are untouched.
+// one. The injector is disarmed after the flip so later launches are
+// untouched. The armed/injected flags are atomics because every SM
+// goroutine's handler invocations read them while the one goroutine
+// running the target thread may set injected mid-launch.
 type Injector struct {
-	Site  InjectionSite
-	Armed bool
+	Site InjectionSite
 
-	// Injected reports whether the flip happened; FlippedReg/FlippedBit
-	// record what was hit (for reporting).
-	Injected   bool
+	// FlippedReg/FlippedBit record what was hit (for reporting). They are
+	// written only by the goroutine executing the target thread and read
+	// after the launch completes.
 	FlippedReg uint8
 	FlippedBit uint32
 
-	counter uint64 // dynamic qualifying instructions seen on the target thread
+	armed    atomic.Bool
+	injected atomic.Bool
+	counter  uint64 // dynamic qualifying instructions seen on the target thread
 }
 
 // NewInjector prepares an injector for one site.
 func NewInjector(site InjectionSite) *Injector {
-	return &Injector{Site: site, Armed: false}
+	return &Injector{Site: site}
 }
 
 // Options returns the instrumentation specification for injection runs.
@@ -131,7 +137,13 @@ func (inj *Injector) Options() sassi.Options { return injWhere() }
 
 // Arm enables the injector (the campaign driver arms it when the selected
 // kernel invocation is reached, via CUPTI callbacks).
-func (inj *Injector) Arm() { inj.Armed = true }
+func (inj *Injector) Arm() { inj.armed.Store(true) }
+
+// Disarm disables the injector after the selected launch.
+func (inj *Injector) Disarm() { inj.armed.Store(false) }
+
+// DidInject reports whether the flip happened.
+func (inj *Injector) DidInject() bool { return inj.injected.Load() }
 
 // Handler performs the bit flip at the selected site. State mutation goes
 // through the spill-aware Set* accessors so the flipped value survives the
@@ -142,7 +154,7 @@ func (inj *Injector) Handler() *sassi.Handler {
 		What:       sassi.PassRegisterInfo,
 		Sequential: true,
 		Fn: func(c *device.Ctx, args sassi.HandlerArgs) {
-			if !inj.Armed || inj.Injected {
+			if !inj.armed.Load() || inj.injected.Load() {
 				return
 			}
 			if !args.BP.InstrWillExecute() {
@@ -171,7 +183,7 @@ func (inj *Injector) inject(c *device.Ctx, args sassi.HandlerArgs) {
 		if op := bp.Opcode(); op == sass.OpISETP || op == sass.OpFSETP || op == sass.OpPSETP {
 			p := uint8(inj.Site.DstSeed % 7)
 			bp.SetPredValue(p, !bp.GetPredValue(p))
-			inj.Injected = true
+			inj.injected.Store(true)
 			inj.FlippedReg = p
 			inj.FlippedBit = uint32(p)
 			return
@@ -189,7 +201,7 @@ func (inj *Injector) inject(c *device.Ctx, args sassi.HandlerArgs) {
 		reg := rp.GPRDst(d)
 		bit := inj.Site.BitSeed % 32
 		rp.SetRegValue(reg, rp.GetRegValue(reg)^(1<<bit))
-		inj.Injected = true
+		inj.injected.Store(true)
 		inj.FlippedReg = reg
 		inj.FlippedBit = bit
 	case TargetCC:
@@ -200,7 +212,7 @@ func (inj *Injector) inject(c *device.Ctx, args sassi.HandlerArgs) {
 func (inj *Injector) flipCC(bp sassi.BeforeParams) {
 	bit := inj.Site.BitSeed % 4
 	bp.SetCCValue(bp.GetCCValue() ^ (1 << bit))
-	inj.Injected = true
+	inj.injected.Store(true)
 	inj.FlippedReg = 0xff
 	inj.FlippedBit = bit
 }

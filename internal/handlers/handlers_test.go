@@ -23,7 +23,13 @@ func run(t *testing.T, workload, dataset string, setup func(ctx *cuda.Context) (
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	ctx := cuda.NewContext(sim.MiniGPU())
+	// Sequential SMs: these tests compare two runs of the same workload
+	// instruction-for-instruction, and parboil.bfs's ticket-queue frontier
+	// makes cross-SM interleaving observable (nondeterministic on real
+	// GPUs too), so they need the deterministic reference schedule.
+	cfg := sim.MiniGPU()
+	cfg.SequentialSMs = true
+	ctx := cuda.NewContext(cfg)
 	h, opts := setup(ctx)
 	if err := sassi.Instrument(prog, opts); err != nil {
 		t.Fatalf("instrument: %v", err)

@@ -11,38 +11,38 @@ import (
 // The paper-faithful handlers (Figures 4, 6, 9) use warp collectives and
 // therefore execute one goroutine per lane. These variants compute the
 // same statistics by exploiting the simulator's deterministic ascending
-// lane order within a sequential handler invocation: the warp leader
-// resets per-invocation scratch state, every contributing lane updates it,
-// and the last active lane commits to device memory. They exist purely to
-// make suite-wide experiments fast; equivalence with the collective
-// versions is covered by tests, and the ablation benches report the cost
-// difference.
+// lane order within a sequential handler invocation: every contributing
+// lane updates per-dispatch scratch state and the last active lane commits
+// to device memory. The scratch lives in a NewFn per-dispatch closure —
+// SMs execute concurrently, so state captured outside the dispatch would
+// be shared between warps on different SMs. They exist purely to make
+// suite-wide experiments fast; equivalence with the collective versions is
+// covered by tests, and the ablation benches report the cost difference.
 
 // SequentialHandler returns the collective-free branch profiler.
 func (p *BranchProfiler) SequentialHandler() *sassi.Handler {
-	var active, taken, ntaken int
 	return &sassi.Handler{
 		Name:       "sassi_branch_handler",
 		What:       sassi.PassCondBranchInfo,
 		Sequential: true,
-		Fn: func(c *device.Ctx, args sassi.HandlerArgs) {
-			if c.IsWarpLeader() {
-				active, taken, ntaken = 0, 0, 0
-			}
-			active++
-			if args.CBP.Direction() {
-				taken++
-			} else {
-				ntaken++
-			}
-			if c.IsLastActive() {
-				stats := p.Table.Find(c, args.BP.InsAddr())
-				c.AtomicAdd64(stats+bfTotal*8, 1)
-				c.AtomicAdd64(stats+bfActive*8, uint64(active))
-				c.AtomicAdd64(stats+bfTaken*8, uint64(taken))
-				c.AtomicAdd64(stats+bfNotTaken*8, uint64(ntaken))
-				if taken != active && ntaken != active {
-					c.AtomicAdd64(stats+bfDiverge*8, 1)
+		NewFn: func() sassi.HandlerFunc {
+			var active, taken, ntaken int
+			return func(c *device.Ctx, args sassi.HandlerArgs) {
+				active++
+				if args.CBP.Direction() {
+					taken++
+				} else {
+					ntaken++
+				}
+				if c.IsLastActive() {
+					stats := p.Table.Find(c, args.BP.InsAddr())
+					c.AtomicAdd64(stats+bfTotal*8, 1)
+					c.AtomicAdd64(stats+bfActive*8, uint64(active))
+					c.AtomicAdd64(stats+bfTaken*8, uint64(taken))
+					c.AtomicAdd64(stats+bfNotTaken*8, uint64(ntaken))
+					if taken != active && ntaken != active {
+						c.AtomicAdd64(stats+bfDiverge*8, 1)
+					}
 				}
 			}
 		},
@@ -51,36 +51,34 @@ func (p *BranchProfiler) SequentialHandler() *sassi.Handler {
 
 // SequentialHandler returns the collective-free memory-divergence profiler.
 func (p *MemDivProfiler) SequentialHandler() *sassi.Handler {
-	var lines []uint64
-	var numActive int
 	return &sassi.Handler{
 		Name:       "sassi_memdiv_handler",
 		What:       sassi.PassMemoryInfo,
 		Sequential: true,
-		Fn: func(c *device.Ctx, args sassi.HandlerArgs) {
-			if c.IsWarpLeader() {
-				lines = lines[:0]
-				numActive = 0
-			}
-			if args.BP.InstrWillExecute() {
-				if addr := args.MP.Address(); mem.IsGlobal(addr) {
-					numActive++
-					line := addr >> p.OffsetBits
-					seen := false
-					for _, l := range lines {
-						if l == line {
-							seen = true
-							break
+		NewFn: func() sassi.HandlerFunc {
+			var lines []uint64
+			var numActive int
+			return func(c *device.Ctx, args sassi.HandlerArgs) {
+				if args.BP.InstrWillExecute() {
+					if addr := args.MP.Address(); mem.IsGlobal(addr) {
+						numActive++
+						line := addr >> p.OffsetBits
+						seen := false
+						for _, l := range lines {
+							if l == line {
+								seen = true
+								break
+							}
+						}
+						if !seen {
+							lines = append(lines, line)
 						}
 					}
-					if !seen {
-						lines = append(lines, line)
-					}
 				}
-			}
-			if c.IsLastActive() && numActive > 0 {
-				idx := uint64((numActive-1)*32 + (len(lines) - 1))
-				c.AtomicAdd64(uint64(p.matrix)+idx*8, 1)
+				if c.IsLastActive() && numActive > 0 {
+					idx := uint64((numActive-1)*32 + (len(lines) - 1))
+					c.AtomicAdd64(uint64(p.matrix)+idx*8, 1)
+				}
 			}
 		},
 	}
@@ -88,49 +86,48 @@ func (p *MemDivProfiler) SequentialHandler() *sassi.Handler {
 
 // SequentialHandler returns the collective-free value profiler.
 func (p *ValueProfiler) SequentialHandler() *sassi.Handler {
-	var n int
-	var stats uint64
-	var leaderVals [vfMaxDsts]uint32
-	var allSame [vfMaxDsts]bool
-	var nd int
 	return &sassi.Handler{
 		Name:       "sassi_after_handler",
 		What:       sassi.PassRegisterInfo,
 		Sequential: true,
-		Fn: func(c *device.Ctx, args sassi.HandlerArgs) {
-			if c.IsWarpLeader() {
-				n = 0
-			}
-			if args.BP.InstrWillExecute() {
-				rp := args.RP
-				if n == 0 {
-					stats = p.Table.Find(c, args.BP.InsAddr())
-					nd = rp.NumGPRDsts()
-					if nd > vfMaxDsts {
-						nd = vfMaxDsts
-					}
-					c.AtomicAdd64(stats+vfWeight*8, 1)
-					c.WriteGlobal64(stats+vfNumDsts*8, uint64(nd))
-				}
-				for d := 0; d < nd; d++ {
-					reg := rp.GPRDst(d)
-					v := rp.GetRegValue(reg)
-					c.AtomicAnd32(stats+uint64(vfDst(d, vfOnes))*8, v)
-					c.AtomicAnd32(stats+uint64(vfDst(d, vfZeros))*8, ^v)
+		NewFn: func() sassi.HandlerFunc {
+			var n int
+			var stats uint64
+			var leaderVals [vfMaxDsts]uint32
+			var allSame [vfMaxDsts]bool
+			var nd int
+			return func(c *device.Ctx, args sassi.HandlerArgs) {
+				if args.BP.InstrWillExecute() {
+					rp := args.RP
 					if n == 0 {
-						leaderVals[d] = v
-						allSame[d] = true
-						c.WriteGlobal64(stats+uint64(vfDst(d, vfRegNum))*8, uint64(reg))
-					} else if v != leaderVals[d] {
-						allSame[d] = false
+						stats = p.Table.Find(c, args.BP.InsAddr())
+						nd = rp.NumGPRDsts()
+						if nd > vfMaxDsts {
+							nd = vfMaxDsts
+						}
+						c.AtomicAdd64(stats+vfWeight*8, 1)
+						c.WriteGlobal64(stats+vfNumDsts*8, uint64(nd))
 					}
+					for d := 0; d < nd; d++ {
+						reg := rp.GPRDst(d)
+						v := rp.GetRegValue(reg)
+						c.AtomicAnd32(stats+uint64(vfDst(d, vfOnes))*8, v)
+						c.AtomicAnd32(stats+uint64(vfDst(d, vfZeros))*8, ^v)
+						if n == 0 {
+							leaderVals[d] = v
+							allSame[d] = true
+							c.WriteGlobal64(stats+uint64(vfDst(d, vfRegNum))*8, uint64(reg))
+						} else if v != leaderVals[d] {
+							allSame[d] = false
+						}
+					}
+					n++
 				}
-				n++
-			}
-			if c.IsLastActive() && n > 0 {
-				for d := 0; d < nd; d++ {
-					if !allSame[d] {
-						c.AtomicAnd32(stats+uint64(vfDst(d, vfScalar))*8, 0)
+				if c.IsLastActive() && n > 0 {
+					for d := 0; d < nd; d++ {
+						if !allSame[d] {
+							c.AtomicAnd32(stats+uint64(vfDst(d, vfScalar))*8, 0)
+						}
 					}
 				}
 			}

@@ -25,6 +25,16 @@ type CacheStats struct {
 	Evictions uint64
 }
 
+// Add accumulates o into s (merging per-SM slice statistics into a
+// device-wide total; sums are order-independent, so the merge is
+// deterministic no matter how SM execution interleaved).
+func (s *CacheStats) Add(o CacheStats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+}
+
 // HitRate returns hits/accesses, or 0 for an idle cache.
 func (s CacheStats) HitRate() float64 {
 	if s.Accesses == 0 {
@@ -136,8 +146,11 @@ func (d *DRAM) Access() int {
 	return d.LatencyCycles
 }
 
-// Hierarchy ties one SM's L1 to the shared L2 and DRAM, producing a cost
-// (in cycles) for a set of coalesced transactions.
+// Hierarchy ties one SM's L1 to its L2 slice and DRAM channel, producing a
+// cost (in cycles) for a set of coalesced transactions. The L2 is modeled
+// as banked per SM (each SM owns an address-interleaved slice of the total
+// capacity), so every level of a Hierarchy is private to one SM goroutine
+// and needs no locking.
 type Hierarchy struct {
 	L1   *Cache // may be nil (Kepler global loads often bypass L1)
 	L2   *Cache

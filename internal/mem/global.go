@@ -10,18 +10,29 @@ import (
 const pageShift = 16 // 64 KiB pages
 const pageSize = 1 << pageShift
 
+// numStripes is the number of data locks global memory is sharded over.
+// Pages map onto stripes by page number, so SMs touching disjoint address
+// ranges (the common case after coalescing) never contend.
+const numStripes = 64
+
 // Global is device (global) memory: a sparse paged byte store with a bump
 // allocator and allocation tracking. Accesses outside any live allocation
 // fault, which is how the simulator detects wild pointers.
 //
-// Global is safe for concurrent use: instrumentation handlers execute one
-// goroutine per warp lane and update counters in device memory with atomics.
+// Global is safe for concurrent use from many goroutines: SMs execute in
+// parallel and instrumentation handlers may run one goroutine per warp
+// lane. Data accesses are serialized per page stripe rather than globally,
+// so traffic to disjoint ranges proceeds in parallel while ATOM
+// read-modify-write semantics stay exact (the stripe lock covers the whole
+// RMW). Metadata (page table, allocator, bounds mode) sits behind a
+// separate RWMutex.
 type Global struct {
-	mu     sync.Mutex
-	pages  map[uint64]*[pageSize]byte
-	next   uint64
-	allocs []allocation // sorted by base
-	strict bool
+	mu      sync.RWMutex // guards pages, next, allocs, strict
+	stripes [numStripes]sync.Mutex
+	pages   map[uint64]*[pageSize]byte
+	next    uint64
+	allocs  []allocation // sorted by base
+	strict  bool
 }
 
 type allocation struct {
@@ -61,8 +72,50 @@ func (g *Global) Alloc(size uint64, name string) uint64 {
 	return base
 }
 
+// lockRange acquires the data stripes covering [addr, addr+n) in ascending
+// stripe order (the deadlock-freedom invariant every locker follows) and
+// returns the matching unlock.
+func (g *Global) lockRange(addr, n uint64) func() {
+	if n == 0 {
+		n = 1
+	}
+	first := addr >> pageShift
+	last := (addr + n - 1) >> pageShift
+	if first == last {
+		s := &g.stripes[first%numStripes]
+		s.Lock()
+		return s.Unlock
+	}
+	if last-first+1 >= numStripes {
+		for i := range g.stripes {
+			g.stripes[i].Lock()
+		}
+		return func() {
+			for i := range g.stripes {
+				g.stripes[i].Unlock()
+			}
+		}
+	}
+	var held [numStripes]bool
+	for pn := first; pn <= last; pn++ {
+		held[pn%numStripes] = true
+	}
+	for i := range held {
+		if held[i] {
+			g.stripes[i].Lock()
+		}
+	}
+	return func() {
+		for i := range held {
+			if held[i] {
+				g.stripes[i].Unlock()
+			}
+		}
+	}
+}
+
 // findAlloc validates [addr, addr+n) against the checking model.
-// Callers hold g.mu.
+// Callers hold g.mu (read or write).
 func (g *Global) findAlloc(addr, n uint64) error {
 	if !g.strict {
 		// Model a multi-GiB mapped heap (Tesla-class boards): anything in
@@ -83,29 +136,49 @@ func (g *Global) findAlloc(addr, n uint64) error {
 	return &Fault{Space: SpaceGlobal, Addr: addr, Why: "address outside any allocation"}
 }
 
-// page returns the page backing addr, creating it if needed. Callers hold g.mu.
-func (g *Global) page(addr uint64) *[pageSize]byte {
-	pn := addr >> pageShift
+// checkAlloc is findAlloc under the metadata read lock.
+func (g *Global) checkAlloc(addr, n uint64) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.findAlloc(addr, n)
+}
+
+// pageRO returns the page backing addr, or nil if it was never written.
+func (g *Global) pageRO(pn uint64) *[pageSize]byte {
+	g.mu.RLock()
 	p := g.pages[pn]
+	g.mu.RUnlock()
+	return p
+}
+
+// pageRW returns the page backing addr, creating it if needed. The caller
+// holds the stripe covering pn, so no other goroutine can race on this
+// page's contents; only the map insert itself needs the write lock.
+func (g *Global) pageRW(pn uint64) *[pageSize]byte {
+	g.mu.RLock()
+	p := g.pages[pn]
+	g.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	g.mu.Lock()
+	p = g.pages[pn]
 	if p == nil {
 		p = new([pageSize]byte)
 		g.pages[pn] = p
 	}
+	g.mu.Unlock()
 	return p
 }
 
-func (g *Global) readLocked(addr uint64, buf []byte) error {
-	if err := g.findAlloc(addr, uint64(len(buf))); err != nil {
-		f := err.(*Fault)
-		f.Write = false
-		return f
-	}
+// readData copies out of the page store. Callers hold the covering stripes.
+func (g *Global) readData(addr uint64, buf []byte) {
 	for len(buf) > 0 {
 		off := addr & (pageSize - 1)
 		var n int
 		// Reads of never-written pages return zeros without materializing
 		// the page (keeps lenient-mode stray reads cheap).
-		if p := g.pages[addr>>pageShift]; p != nil {
+		if p := g.pageRO(addr >> pageShift); p != nil {
 			n = copy(buf, p[off:])
 		} else {
 			n = len(buf)
@@ -119,37 +192,43 @@ func (g *Global) readLocked(addr uint64, buf []byte) error {
 		buf = buf[n:]
 		addr += uint64(n)
 	}
-	return nil
 }
 
-func (g *Global) writeLocked(addr uint64, data []byte) error {
-	if err := g.findAlloc(addr, uint64(len(data))); err != nil {
-		f := err.(*Fault)
-		f.Write = true
-		return f
-	}
+// writeData copies into the page store. Callers hold the covering stripes.
+func (g *Global) writeData(addr uint64, data []byte) {
 	for len(data) > 0 {
-		p := g.page(addr)
+		p := g.pageRW(addr >> pageShift)
 		off := addr & (pageSize - 1)
 		n := copy(p[off:], data)
 		data = data[n:]
 		addr += uint64(n)
 	}
-	return nil
 }
 
 // Read copies device memory into buf, faulting on unmapped addresses.
 func (g *Global) Read(addr uint64, buf []byte) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.readLocked(addr, buf)
+	if err := g.checkAlloc(addr, uint64(len(buf))); err != nil {
+		f := err.(*Fault)
+		f.Write = false
+		return f
+	}
+	unlock := g.lockRange(addr, uint64(len(buf)))
+	defer unlock()
+	g.readData(addr, buf)
+	return nil
 }
 
 // Write copies buf into device memory, faulting on unmapped addresses.
 func (g *Global) Write(addr uint64, data []byte) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.writeLocked(addr, data)
+	if err := g.checkAlloc(addr, uint64(len(data))); err != nil {
+		f := err.(*Fault)
+		f.Write = true
+		return f
+	}
+	unlock := g.lockRange(addr, uint64(len(data)))
+	defer unlock()
+	g.writeData(addr, data)
+	return nil
 }
 
 // Read32 loads a 32-bit word.
@@ -184,44 +263,46 @@ func (g *Global) Write64(addr uint64, v uint64) error {
 	return g.Write(addr, b[:])
 }
 
-// Atomic32 applies f to the 32-bit word at addr under the memory lock and
-// returns the old value.
+// Atomic32 applies f to the 32-bit word at addr atomically (the covering
+// stripe lock spans the whole read-modify-write) and returns the old value.
 func (g *Global) Atomic32(addr uint64, f func(old uint32) uint32) (uint32, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	var b [4]byte
-	if err := g.readLocked(addr, b[:]); err != nil {
-		return 0, err
+	if err := g.checkAlloc(addr, 4); err != nil {
+		fl := err.(*Fault)
+		fl.Write = true
+		return 0, fl
 	}
+	unlock := g.lockRange(addr, 4)
+	defer unlock()
+	var b [4]byte
+	g.readData(addr, b[:])
 	old := binary.LittleEndian.Uint32(b[:])
 	binary.LittleEndian.PutUint32(b[:], f(old))
-	if err := g.writeLocked(addr, b[:]); err != nil {
-		return 0, err
-	}
+	g.writeData(addr, b[:])
 	return old, nil
 }
 
-// Atomic64 applies f to the 64-bit word at addr under the memory lock and
-// returns the old value.
+// Atomic64 applies f to the 64-bit word at addr atomically and returns the
+// old value.
 func (g *Global) Atomic64(addr uint64, f func(old uint64) uint64) (uint64, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	var b [8]byte
-	if err := g.readLocked(addr, b[:]); err != nil {
-		return 0, err
+	if err := g.checkAlloc(addr, 8); err != nil {
+		fl := err.(*Fault)
+		fl.Write = true
+		return 0, fl
 	}
+	unlock := g.lockRange(addr, 8)
+	defer unlock()
+	var b [8]byte
+	g.readData(addr, b[:])
 	old := binary.LittleEndian.Uint64(b[:])
 	binary.LittleEndian.PutUint64(b[:], f(old))
-	if err := g.writeLocked(addr, b[:]); err != nil {
-		return 0, err
-	}
+	g.writeData(addr, b[:])
 	return old, nil
 }
 
 // Footprint returns the total bytes currently allocated.
 func (g *Global) Footprint() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var n uint64
 	for _, a := range g.allocs {
 		n += a.size
@@ -231,8 +312,8 @@ func (g *Global) Footprint() uint64 {
 
 // Describe returns a human-readable allocation map (debugging aid).
 func (g *Global) Describe() string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	s := ""
 	for _, a := range g.allocs {
 		s += fmt.Sprintf("[0x%x,0x%x) %s (%d bytes)\n", a.base, a.base+a.size, a.name, a.size)

@@ -25,6 +25,13 @@ type Options struct {
 	NoCopyProp bool
 }
 
+// CacheKey returns a string uniquely identifying these options, for use as
+// part of a compile-cache key.
+func (o Options) CacheKey() string {
+	return fmt.Sprintf("maxregs=%d ifcvt=%t movcoal=%t copyprop=%t",
+		o.MaxRegs, !o.NoIfConvert, !o.NoCoalesceMov, !o.NoCopyProp)
+}
+
 // Compile lowers a verified PTX module into a SASS program.
 func Compile(m *ptx.Module, opts Options) (*sass.Program, error) {
 	if err := m.Verify(); err != nil {

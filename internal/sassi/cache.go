@@ -1,0 +1,74 @@
+package sassi
+
+import (
+	"sync"
+
+	"sassi/internal/sass"
+)
+
+// CompileCache memoizes compiled — and, when the key says so, instrumented
+// — programs so fan-out consumers (fault-campaign workers, experiment
+// sweeps) share one compile instead of redoing it per run. A sass.Program
+// is read-only at execution time, so a single cached instance can back any
+// number of concurrent simulations.
+//
+// Rules for correct use:
+//
+//   - The key must capture everything that shaped the program: workload,
+//     backend options (ptxas.Options.CacheKey), and the instrumentation
+//     descriptor (Options.CacheKey) if any was applied.
+//   - Instrument must run inside the build closure. Never instrument a
+//     program returned from Get — it is shared, and Instrument rewrites
+//     kernels in place.
+//   - Options carrying a Select closure report themselves uncacheable
+//     (a func's behavior can't be summarized into a key); bypass the
+//     cache for those.
+type CompileCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	prog *sass.Program
+	err  error
+}
+
+// NewCompileCache returns an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{entries: make(map[string]*cacheEntry)}
+}
+
+// Get returns the program cached under key, building it on first use.
+// Concurrent callers with the same key share one build (singleflight);
+// everyone observes the same program or the same build error.
+func (c *CompileCache) Get(key string, build func() (*sass.Program, error)) (*sass.Program, error) {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = build() })
+	return e.prog, e.err
+}
+
+// Stats reports cache hits and misses so far.
+func (c *CompileCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of distinct cached keys.
+func (c *CompileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

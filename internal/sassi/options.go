@@ -1,6 +1,10 @@
 package sassi
 
-import "sassi/internal/sass"
+import (
+	"fmt"
+
+	"sassi/internal/sass"
+)
 
 // Where selects instrumentation sites, mirroring the paper's ptxas
 // command-line menu (§3.1): instrumentation can go before any and all
@@ -80,6 +84,18 @@ type Options struct {
 	// Kernels, when non-empty, restricts instrumentation to the named
 	// kernels.
 	Kernels []string
+}
+
+// CacheKey returns a string identifying the instrumentation these options
+// apply — suitable as part of a CompileCache key — and whether the options
+// are cacheable at all. Options carrying a Select closure are not: a
+// func's site filtering can't be summarized into a key string.
+func (o *Options) CacheKey() (string, bool) {
+	if o.Select != nil {
+		return "", false
+	}
+	return fmt.Sprintf("where=%#x what=%#x before=%q after=%q kernels=%q",
+		o.Where, o.What, o.BeforeHandler, o.AfterHandler, o.Kernels), true
 }
 
 func (o *Options) wantsKernel(name string) bool {

@@ -29,6 +29,12 @@ type Handler struct {
 	Name string
 	// Fn is the per-thread handler body.
 	Fn HandlerFunc
+	// NewFn, when set, takes precedence over Fn: it is called once per
+	// warp dispatch and the returned closure handles that dispatch's lanes.
+	// Handlers that accumulate warp-scoped scratch across lanes must use it
+	// — SMs execute concurrently, so state captured outside the dispatch
+	// would be shared between warps running on different SMs.
+	NewFn func() HandlerFunc
 	// What tells the runtime how to interpret the second ABI argument;
 	// it must match the What used at instrumentation time.
 	What What
@@ -54,7 +60,7 @@ func NewRuntime(prog *sass.Program) *Runtime {
 // Register links a handler to its symbol. Unresolved handler symbols fault
 // at JCAL time, like an unlinked reference.
 func (rt *Runtime) Register(h *Handler) error {
-	if h.Name == "" || h.Fn == nil {
+	if h.Name == "" || (h.Fn == nil && h.NewFn == nil) {
 		return fmt.Errorf("sassi: handler needs a name and a function")
 	}
 	id, ok := rt.prog.Handlers[h.Name]
@@ -79,6 +85,10 @@ func (rt *Runtime) Dispatch(dev *sim.Device, w *sim.Warp, handlerID int) error {
 	if !ok {
 		return fmt.Errorf("sassi: JCAL to unregistered handler id %d", handlerID)
 	}
+	fn := h.Fn
+	if h.NewFn != nil {
+		fn = h.NewFn()
+	}
 	return device.RunWarp(dev, w, w.ActiveMask(), !h.Sequential, func(c *device.Ctx) {
 		bpAddr := uint64(c.ReadReg(ABIArg0)) | uint64(c.ReadReg(ABIArg0+1))<<32
 		xpAddr := uint64(c.ReadReg(ABIArg1)) | uint64(c.ReadReg(ABIArg1+1))<<32
@@ -96,7 +106,7 @@ func (rt *Runtime) Dispatch(dev *sim.Device, w *sim.Warp, handlerID int) error {
 				args.RP = &rp
 			}
 		}
-		h.Fn(c, args)
+		fn(c, args)
 	})
 }
 

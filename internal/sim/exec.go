@@ -10,8 +10,12 @@ import (
 	"sassi/internal/sass"
 )
 
-// engine executes one kernel launch. It is single-goroutine except while an
-// instrumentation handler with warp collectives is running.
+// engine executes one kernel launch. Each SM runs on its own goroutine
+// (unless Config.SequentialSMs or a MemWatch forces the sequential path),
+// and all mutable per-launch state an SM touches lives in its smShard, so
+// the goroutines share nothing but the device's Global memory — which is
+// internally synchronized. Instrumentation handlers with warp collectives
+// additionally fan out one goroutine per lane.
 type engine struct {
 	dev   *Device
 	prog  *sass.Program
@@ -19,10 +23,27 @@ type engine struct {
 	cb    []byte // constant bank 0 for this launch
 	stats *KernelStats
 
-	hier     []mem.Hierarchy
-	smCycles []uint64
-	ntid     [3]uint32
-	nctaid   [3]uint32
+	sms    []smShard
+	ntid   [3]uint32
+	nctaid [3]uint32
+}
+
+// smShard is one SM's private slice of the launch state: its view of the
+// memory hierarchy and its statistics counters. Counters are merged into
+// KernelStats at kernel exit with order-independent reductions (sums and
+// maxes), which is what makes the merged stats bit-equal regardless of SM
+// scheduling.
+type smShard struct {
+	hier mem.Hierarchy
+
+	warpInstrs           uint64
+	threadInstrs         uint64
+	injectedWarpInstrs   uint64
+	injectedThreadInstrs uint64
+	handlerCalls         uint64
+	maxWarpInstrs        uint64
+	globalTransactions   uint64
+	cycles               uint64
 }
 
 func (e *engine) fail(w *Warp, kind ErrKind, format string, args ...any) error {
@@ -94,7 +115,10 @@ func (e *engine) readSR(t *Thread, sr sass.SpecialReg) uint32 {
 	case sass.SRSMID:
 		return uint32(t.warp.CTA.SM)
 	case sass.SRClock:
-		return uint32(e.stats.WarpInstrs)
+		// Per-SM instruction clock: SMs tick independently on hardware,
+		// and a per-shard count keeps the value deterministic under
+		// parallel SM execution.
+		return uint32(e.sms[t.warp.CTA.SM].warpInstrs)
 	}
 	return 0
 }
@@ -108,9 +132,10 @@ func (e *engine) step(w *Warp) error {
 	if w.PC < 0 || w.PC >= len(e.k.Instrs) {
 		return e.fail(w, ErrInvalid, "PC out of range (fell off kernel end)")
 	}
+	st := &e.sms[w.CTA.SM]
 	w.DynWarpInstrs++
-	if w.DynWarpInstrs > e.stats.MaxWarpInstrs {
-		e.stats.MaxWarpInstrs = w.DynWarpInstrs
+	if w.DynWarpInstrs > st.maxWarpInstrs {
+		st.maxWarpInstrs = w.DynWarpInstrs
 	}
 	if w.DynWarpInstrs > e.dev.Cfg.WatchdogWarpInstrs {
 		return e.fail(w, ErrHang, "watchdog: warp exceeded %d instructions", e.dev.Cfg.WatchdogWarpInstrs)
@@ -130,12 +155,12 @@ func (e *engine) step(w *Warp) error {
 	}
 
 	// Issue accounting.
-	e.stats.WarpInstrs++
+	st.warpInstrs++
 	nexec := bits.OnesCount32(exec)
-	e.stats.ThreadInstrs += uint64(nexec)
+	st.threadInstrs += uint64(nexec)
 	if in.Injected {
-		e.stats.InjectedWarpInstrs++
-		e.stats.InjectedThreadInstrs += uint64(nexec)
+		st.injectedWarpInstrs++
+		st.injectedThreadInstrs += uint64(nexec)
 	}
 	cost := issueCost(in)
 	Lanes(exec, func(l int) { w.Threads[l].DynInstrs++ })
@@ -233,7 +258,7 @@ func (e *engine) step(w *Warp) error {
 	if advance {
 		w.PC++
 	}
-	e.smCycles[w.CTA.SM] += uint64(cost)
+	st.cycles += uint64(cost)
 	return nil
 }
 
@@ -272,7 +297,7 @@ func (e *engine) execJCAL(w *Warp, in *sass.Instruction, exec uint32) error {
 	if e.dev.Dispatcher == nil {
 		return fmt.Errorf("JCAL %q with no handler dispatcher installed", t.Name)
 	}
-	e.stats.HandlerCalls++
+	e.sms[w.CTA.SM].handlerCalls++
 	return e.dev.Dispatcher.Dispatch(e.dev, w, id)
 }
 

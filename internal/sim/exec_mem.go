@@ -256,9 +256,9 @@ func (e *engine) execGeneric(w *Warp, in *sass.Instruction, exec uint32, width s
 	cost := 1
 	if access.Active != 0 {
 		res := e.dev.Coal.Coalesce(&access)
-		e.stats.GlobalTransactions += uint64(res.UniqueLines())
-		sm := w.CTA.SM
-		cost = e.hier[sm].AccessLines(res.Lines, store)
+		st := &e.sms[w.CTA.SM]
+		st.globalTransactions += uint64(res.UniqueLines())
+		cost = st.hier.AccessLines(res.Lines, store)
 		if e.dev.MemWatch != nil {
 			e.dev.MemWatch(w.PC, res, store)
 		}
@@ -333,8 +333,9 @@ func (e *engine) execAtomicGlobal(w *Warp, in *sass.Instruction, exec uint32) (i
 	cost := 1
 	if access.Active != 0 {
 		res := e.dev.Coal.Coalesce(&access)
-		e.stats.GlobalTransactions += uint64(res.UniqueLines())
-		cost = e.hier[w.CTA.SM].AccessLines(res.Lines, true) + res.NumActive
+		st := &e.sms[w.CTA.SM]
+		st.globalTransactions += uint64(res.UniqueLines())
+		cost = st.hier.AccessLines(res.Lines, true) + res.NumActive
 	}
 	return cost, nil
 }

@@ -53,6 +53,13 @@ type Config struct {
 	// DefaultStackBytes is the per-thread local memory size when a kernel
 	// does not request more.
 	DefaultStackBytes int
+
+	// SequentialSMs forces the launch engine to simulate SMs one after
+	// another on the calling goroutine instead of one goroutine per SM.
+	// Results are bit-equal either way; this is an escape hatch for
+	// debugging and the reference mode the equivalence tests compare
+	// against.
+	SequentialSMs bool
 }
 
 // KeplerK10 approximates the paper's Tesla K10 G2 target (case studies
@@ -134,22 +141,30 @@ func (c *Config) normalize() {
 }
 
 // Device is one simulated GPU: configuration, device memory, and the
-// shared levels of the memory hierarchy.
+// memory hierarchy. The L2 is modeled as banked: each SM owns one slice
+// (L2s[i]) holding an equal share of the configured capacity, and each
+// slice drains into its own DRAM channel (DRAMs[i]). Every hierarchy
+// level an SM touches is therefore private to that SM's goroutine, which
+// is what lets SMs execute in parallel while keeping cache statistics a
+// pure function of the per-SM access stream — bit-equal no matter how
+// the goroutines interleave.
 type Device struct {
 	Cfg    Config
 	Global *mem.Global
-	L2     *mem.Cache
-	DRAM   *mem.DRAM
+	L2s    []*mem.Cache
+	DRAMs  []*mem.DRAM
 	L1s    []*mem.Cache
 	Coal   *mem.Coalescer
 
 	// Dispatcher executes JCAL'd instrumentation handlers. Nil means any
-	// JCAL faults (no handlers linked).
+	// JCAL faults (no handlers linked). Implementations must tolerate
+	// concurrent calls from different SM goroutines.
 	Dispatcher Dispatcher
 
 	// MemWatch, when non-nil, observes every warp-level global memory
 	// access after coalescing (trace export, §9.4 "driving other
-	// simulators").
+	// simulators"). Setting it forces sequential SM execution so the
+	// recorded event order is deterministic.
 	MemWatch func(pc int, res mem.Result, store bool)
 }
 
@@ -157,8 +172,31 @@ type Device struct {
 type Dispatcher interface {
 	// Dispatch executes handler handlerID for the active lanes of w.
 	// The injected SASS has already marshalled arguments into the ABI
-	// registers (R4..R7) of each active lane.
+	// registers (R4..R7) of each active lane. Dispatch may be invoked
+	// concurrently from different SM goroutines.
 	Dispatch(dev *Device, w *Warp, handlerID int) error
+}
+
+// floorPow2 returns the largest power of two <= n (minimum 1).
+func floorPow2(n uint64) uint64 {
+	if n < 1 {
+		return 1
+	}
+	p := uint64(1)
+	for p<<1 <= n {
+		p <<= 1
+	}
+	return p
+}
+
+// l2SliceBytes returns the capacity of one SM's L2 slice. The total set
+// count is split evenly across SMs and rounded down to a power of two
+// (NumSMs values like 13 or 15 don't divide it exactly; the cache model
+// wants power-of-two sets).
+func l2SliceBytes(cfg *Config) uint64 {
+	totalSets := cfg.L2Bytes / (uint64(cfg.L2Ways) * cfg.L2Line)
+	sliceSets := floorPow2(totalSets / uint64(cfg.NumSMs))
+	return sliceSets * uint64(cfg.L2Ways) * cfg.L2Line
 }
 
 // NewDevice builds a device from a config.
@@ -167,17 +205,39 @@ func NewDevice(cfg Config) *Device {
 	d := &Device{
 		Cfg:    cfg,
 		Global: mem.NewGlobal(),
-		DRAM:   &mem.DRAM{LatencyCycles: cfg.DRAMLat},
 		Coal:   mem.NewCoalescer(cfg.CoalesceBytes),
 	}
-	d.L2 = mem.NewCache("L2", cfg.L2Bytes, cfg.L2Line, cfg.L2Ways)
+	slice := l2SliceBytes(&cfg)
+	d.L2s = make([]*mem.Cache, cfg.NumSMs)
+	d.DRAMs = make([]*mem.DRAM, cfg.NumSMs)
 	d.L1s = make([]*mem.Cache, cfg.NumSMs)
 	for i := range d.L1s {
+		d.L2s[i] = mem.NewCache(fmt.Sprintf("L2.%d", i), slice, cfg.L2Line, cfg.L2Ways)
+		d.DRAMs[i] = &mem.DRAM{LatencyCycles: cfg.DRAMLat}
 		if cfg.L1Bytes > 0 {
 			d.L1s[i] = mem.NewCache(fmt.Sprintf("L1.%d", i), cfg.L1Bytes, cfg.L1Line, cfg.L1Ways)
 		}
 	}
 	return d
+}
+
+// L2Stats returns the device-wide L2 statistics: the order-independent sum
+// over the per-SM slices.
+func (d *Device) L2Stats() mem.CacheStats {
+	var s mem.CacheStats
+	for _, c := range d.L2s {
+		s.Add(c.Stats)
+	}
+	return s
+}
+
+// DRAMTransactions returns total DRAM traffic across all channels.
+func (d *Device) DRAMTransactions() uint64 {
+	var n uint64
+	for _, ch := range d.DRAMs {
+		n += ch.Transactions
+	}
+	return n
 }
 
 // Alloc reserves device memory (cudaMalloc analog).

@@ -3,6 +3,7 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"sassi/internal/mem"
 	"sassi/internal/sass"
@@ -60,11 +61,10 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 	}
 	e := &engine{dev: d, prog: prog, k: k}
 	e.stats = &KernelStats{Kernel: kernelName, SMCycles: make([]uint64, d.Cfg.NumSMs)}
-	e.smCycles = e.stats.SMCycles
-	e.hier = make([]mem.Hierarchy, d.Cfg.NumSMs)
-	for i := range e.hier {
-		e.hier[i] = mem.Hierarchy{
-			L1: d.L1s[i], L2: d.L2, DRAM: d.DRAM,
+	e.sms = make([]smShard, d.Cfg.NumSMs)
+	for i := range e.sms {
+		e.sms[i].hier = mem.Hierarchy{
+			L1: d.L1s[i], L2: d.L2s[i], DRAM: d.DRAMs[i],
 			L1Latency: d.Cfg.L1Latency, L2Latency: d.Cfg.L2Latency,
 		}
 	}
@@ -129,23 +129,48 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 	}
 
 	// Distribute CTAs round-robin across SMs, then run each SM to
-	// completion. SMs are simulated one after another; their cycle
-	// counters accumulate independently so kernel time is max over SMs.
+	// completion — one goroutine per SM by default. SMs share only the
+	// internally-synchronized Global memory; all per-SM state (L1, L2
+	// slice, DRAM channel, stat counters) lives in that SM's shard, so
+	// the merged statistics are identical to the sequential engine's.
+	// Every SM runs to its own completion or first error even when
+	// another SM fails, and the lowest-numbered failing SM's error is
+	// reported, keeping the outcome independent of goroutine timing.
 	perSM := make([][]int, d.Cfg.NumSMs)
 	for c := 0; c < numCTAs; c++ {
 		sm := c % d.Cfg.NumSMs
 		perSM[sm] = append(perSM[sm], c)
 	}
-	for sm, ctas := range perSM {
-		if len(ctas) == 0 {
-			continue
+	smErrs := make([]error, d.Cfg.NumSMs)
+	// A MemWatch observer needs the sequential path: trace events funnel
+	// into one callback, and their order is part of the exported trace.
+	if d.Cfg.SequentialSMs || d.MemWatch != nil {
+		for sm, ctas := range perSM {
+			if len(ctas) == 0 {
+				continue
+			}
+			smErrs[sm] = e.runSM(sm, ctas, grid, block, numRegs, localBytes, sharedBytes, maxResident)
 		}
-		if err := e.runSM(sm, ctas, grid, block, numRegs, localBytes, sharedBytes, maxResident); err != nil {
-			e.finishStats()
+	} else {
+		var wg sync.WaitGroup
+		for sm, ctas := range perSM {
+			if len(ctas) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(sm int, ctas []int) {
+				defer wg.Done()
+				smErrs[sm] = e.runSM(sm, ctas, grid, block, numRegs, localBytes, sharedBytes, maxResident)
+			}(sm, ctas)
+		}
+		wg.Wait()
+	}
+	e.finishStats()
+	for _, err := range smErrs {
+		if err != nil {
 			return e.stats, err
 		}
 	}
-	e.finishStats()
 	return e.stats, nil
 }
 
@@ -161,14 +186,27 @@ func normDim(d *Dim3) {
 	}
 }
 
+// finishStats merges the per-SM shards into the launch statistics. Every
+// reduction is order-independent (sum or max), so the result does not
+// depend on how the SM goroutines interleaved.
 func (e *engine) finishStats() {
-	var maxCyc uint64
-	for _, c := range e.stats.SMCycles {
-		if c > maxCyc {
-			maxCyc = c
+	s := e.stats
+	for i := range e.sms {
+		st := &e.sms[i]
+		s.WarpInstrs += st.warpInstrs
+		s.ThreadInstrs += st.threadInstrs
+		s.InjectedWarpInstrs += st.injectedWarpInstrs
+		s.InjectedThreadInstrs += st.injectedThreadInstrs
+		s.HandlerCalls += st.handlerCalls
+		s.GlobalTransactions += st.globalTransactions
+		if st.maxWarpInstrs > s.MaxWarpInstrs {
+			s.MaxWarpInstrs = st.maxWarpInstrs
+		}
+		s.SMCycles[i] = st.cycles
+		if st.cycles > s.Cycles {
+			s.Cycles = st.cycles
 		}
 	}
-	e.stats.Cycles = maxCyc
 }
 
 // buildCTA instantiates the threads and warps of one CTA.

@@ -69,8 +69,11 @@ type Manager struct {
 
 type managedRange struct{ base, size uint64 }
 
-// NewManager creates a UVM manager over a context.
+// NewManager creates a UVM manager over a context. Like the MemTracer, the
+// manager observes a single ordered event stream (page migrations depend on
+// touch order), so it pins the context's device to sequential SM execution.
 func NewManager(ctx *cuda.Context) *Manager {
+	ctx.Device().Cfg.SequentialSMs = true
 	return &Manager{
 		ctx:    ctx,
 		pages:  make(map[uint64]Side),

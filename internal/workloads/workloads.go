@@ -17,6 +17,7 @@ import (
 	"sassi/internal/ptx"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
+	"sassi/internal/sassi"
 )
 
 // Result is what one workload run produced.
@@ -104,6 +105,33 @@ func (s *Spec) Compile(opts ptxas.Options) (*sass.Program, error) {
 		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
 	}
 	return prog, nil
+}
+
+// CompileCached is Compile through a shared compile cache: every caller
+// asking for the same (workload, backend options) pair shares one compiled
+// program. A nil cache falls back to a fresh compile. The returned program
+// is shared — treat it as read-only; to cache an instrumented variant,
+// build it under InstrumentedKey with sassi.Instrument inside the build
+// closure.
+func (s *Spec) CompileCached(cache *sassi.CompileCache, opts ptxas.Options) (*sass.Program, error) {
+	if cache == nil {
+		return s.Compile(opts)
+	}
+	return cache.Get(s.CompileKey(opts), func() (*sass.Program, error) {
+		return s.Compile(opts)
+	})
+}
+
+// CompileKey is the compile-cache key for this workload's uninstrumented
+// program under the given backend options.
+func (s *Spec) CompileKey(opts ptxas.Options) string {
+	return "workload=" + s.Name + " ptxas[" + opts.CacheKey() + "]"
+}
+
+// InstrumentedKey is the compile-cache key for this workload instrumented
+// with the descriptor instKey (from sassi.Options.CacheKey).
+func (s *Spec) InstrumentedKey(opts ptxas.Options, instKey string) string {
+	return s.CompileKey(opts) + " inst[" + instKey + "]"
 }
 
 var registry = map[string]*Spec{}
