@@ -1,0 +1,154 @@
+// Command sassi-lint runs the static verifier (internal/analysis) over
+// kernels without executing them: the compile pipeline's post-pass, usable
+// standalone and from CI.
+//
+// Inputs are PTX-like assembly files (compiled through ptxas first) or
+// serialized kernels written by MarshalBinary; -workloads lints every
+// built-in benchmark instead. With -instrument, each compiled program is
+// additionally instrumented with a representative configuration and the
+// instrumentation-safety checks run over the result.
+//
+// Usage:
+//
+//	sassi-lint examples/ptxasm/squares.sptx
+//	sassi-lint -workloads -instrument
+//
+// Diagnostics print one per line; the exit status is 1 if any
+// error-severity finding was reported, 2 on usage or input errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sassi/internal/analysis"
+	"sassi/internal/ptx"
+	"sassi/internal/ptxas"
+	"sassi/internal/sass"
+	"sassi/internal/sassi"
+	"sassi/internal/workloads"
+)
+
+func main() {
+	lintWorkloads := flag.Bool("workloads", false, "lint every built-in workload")
+	instrument := flag.Bool("instrument", false, "also instrument each program and check the result")
+	flag.Parse()
+
+	if !*lintWorkloads && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sassi-lint [-instrument] [-workloads] [file.sptx|file.sasskrn ...]")
+		os.Exit(2)
+	}
+
+	l := &linter{instrument: *instrument}
+	if *lintWorkloads {
+		for _, name := range workloads.Names() {
+			spec, _ := workloads.Get(name)
+			prog, err := spec.Compile(ptxas.Options{Verify: analysis.VerifyOff})
+			if err != nil {
+				l.fail("workload %s: %v", name, err)
+				continue
+			}
+			l.lintProgram("workload:"+name, prog)
+		}
+	}
+	for _, path := range flag.Args() {
+		l.lintFile(path)
+	}
+
+	if l.errors > 0 {
+		fmt.Fprintf(os.Stderr, "sassi-lint: %d error(s), %d warning(s)\n", l.errors, l.warnings)
+		os.Exit(1)
+	}
+	if l.warnings > 0 {
+		fmt.Fprintf(os.Stderr, "sassi-lint: %d warning(s)\n", l.warnings)
+	}
+}
+
+type linter struct {
+	instrument bool
+	errors     int
+	warnings   int
+}
+
+func (l *linter) fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sassi-lint: "+format+"\n", args...)
+	l.errors++
+}
+
+func (l *linter) report(file string, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		d.File = file
+		fmt.Println(d)
+		if d.Sev == analysis.Error {
+			l.errors++
+		} else {
+			l.warnings++
+		}
+	}
+}
+
+func (l *linter) lintFile(path string) {
+	switch {
+	case strings.HasSuffix(path, ".sasskrn"):
+		data, err := os.ReadFile(path)
+		if err != nil {
+			l.fail("%v", err)
+			return
+		}
+		k := &sass.Kernel{}
+		if err := k.UnmarshalBinary(data); err != nil {
+			l.fail("%s: %v", path, err)
+			return
+		}
+		l.report(path, analysis.VerifyKernel(k))
+	default: // PTX-like assembly
+		src, err := os.ReadFile(path)
+		if err != nil {
+			l.fail("%v", err)
+			return
+		}
+		m, err := ptx.ParseModule(string(src))
+		if err != nil {
+			l.fail("%s: %v", path, err)
+			return
+		}
+		// Compile without the verify post-pass: the lint reports the
+		// diagnostics itself instead of dying on the first error.
+		prog, err := ptxas.Compile(m, ptxas.Options{Verify: analysis.VerifyOff})
+		if err != nil {
+			l.fail("%s: %v", path, err)
+			return
+		}
+		l.lintProgram(path, prog)
+	}
+}
+
+func (l *linter) lintProgram(file string, prog *sass.Program) {
+	l.report(file, analysis.Verify(prog))
+	if !l.instrument {
+		return
+	}
+	// Instrument with a configuration that exercises every injection shape:
+	// before-sites everywhere, after-sites on memory ops, the memory extra
+	// object. Instrument's own verify post-pass diffs the result against
+	// the original; recover its diagnostics for positioned output.
+	err := sassi.Instrument(prog, sassi.Options{
+		Where:         sassi.BeforeAll | sassi.AfterMem,
+		What:          sassi.PassMemoryInfo,
+		BeforeHandler: "lint_before",
+		AfterHandler:  "lint_after",
+		Verify:        analysis.VerifyOn,
+	})
+	if err == nil {
+		return
+	}
+	var ve *analysis.VerifyError
+	if errors.As(err, &ve) {
+		l.report(file+" [instrumented]", ve.Diags)
+		return
+	}
+	l.fail("%s: instrument: %v", file, err)
+}

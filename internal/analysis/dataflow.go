@@ -1,0 +1,665 @@
+package analysis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sassi/internal/sass"
+)
+
+// Bits is a fixed-width bitset, the lattice element of every dataflow
+// problem in this package.
+type Bits []uint64
+
+// NewBits allocates a zeroed bitset holding n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports bit i.
+func (b Bits) Has(i int) bool {
+	w := i / 64
+	return w < len(b) && b[w]&(1<<(uint(i)%64)) != 0
+}
+
+// Fill sets the first n bits.
+func (b Bits) Fill(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if tail := n % 64; tail != 0 && len(b) > 0 {
+		b[len(b)-1] = (1 << uint(tail)) - 1
+	}
+}
+
+// Copy returns an independent copy.
+func (b Bits) Copy() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// CopyFrom overwrites b with o.
+func (b Bits) CopyFrom(o Bits) { copy(b, o) }
+
+// Union ors o into b, reporting whether b changed. A nil o is empty.
+func (b Bits) Union(o Bits) bool {
+	changed := false
+	for i := range o {
+		if n := b[i] | o[i]; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Intersect ands o into b, reporting whether b changed.
+func (b Bits) Intersect(o Bits) bool {
+	changed := false
+	for i := range b {
+		var ov uint64
+		if i < len(o) {
+			ov = o[i]
+		}
+		if n := b[i] & ov; n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot clears every bit of o from b. A nil o is empty.
+func (b Bits) AndNot(o Bits) {
+	for i := range o {
+		b[i] &^= o[i]
+	}
+}
+
+// Equal reports bitwise equality (same width assumed).
+func (b Bits) Equal(o Bits) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Members lists the set bit indices in ascending order.
+func (b Bits) Members() []int {
+	var out []int
+	for wi, w := range b {
+		for w != 0 {
+			out = append(out, wi*64+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Direction of a dataflow problem.
+type Direction uint8
+
+// Dataflow directions.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// Meet operator of a dataflow problem: Union for may-analyses, Intersect
+// for must-analyses.
+type Meet uint8
+
+// Meet operators.
+const (
+	Union Meet = iota
+	Intersect
+)
+
+// Problem is a monotone bitvector dataflow problem over a sass.CFG with
+// block transfer functions of the form OUT = Gen ∪ (IN − Kill).
+type Problem struct {
+	Dir  Direction
+	Meet Meet
+	// Bits is the lattice width (number of facts).
+	Bits int
+	// Gen and Kill are the per-block transfer sets, indexed by block ID.
+	// A nil entry is the empty set.
+	Gen, Kill []Bits
+	// Boundary seeds the entry block's IN (forward) or every exit block's
+	// OUT (backward). Nil is the empty set.
+	Boundary Bits
+}
+
+// Solve iterates the problem to its fixed point and returns the IN and
+// OUT set of every block. Interior blocks start at ⊤ (full for Intersect,
+// empty for Union); blocks unreachable in the problem's direction keep
+// values derived from that initialization, so must-analysis results for
+// unreachable code are vacuously full.
+func Solve(cfg *sass.CFG, p Problem) (in, out []Bits) {
+	nb := len(cfg.Blocks)
+	in = make([]Bits, nb)
+	out = make([]Bits, nb)
+	for b := 0; b < nb; b++ {
+		in[b] = NewBits(p.Bits)
+		out[b] = NewBits(p.Bits)
+		if p.Meet == Intersect {
+			in[b].Fill(p.Bits)
+			out[b].Fill(p.Bits)
+		}
+	}
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = NewBits(p.Bits)
+	}
+
+	transfer := func(dst, src Bits, b int) bool {
+		tmp := src.Copy()
+		if p.Kill != nil && p.Kill[b] != nil {
+			tmp.AndNot(p.Kill[b])
+		}
+		if p.Gen != nil && p.Gen[b] != nil {
+			tmp.Union(p.Gen[b])
+		}
+		if dst.Equal(tmp) {
+			return false
+		}
+		dst.CopyFrom(tmp)
+		return true
+	}
+	// meetInto folds src into acc under the problem's meet operator.
+	meetInto := func(acc, src Bits) {
+		if p.Meet == Union {
+			acc.Union(src)
+		} else {
+			acc.Intersect(src)
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < nb; b++ {
+			blk := cfg.Blocks[b]
+			if p.Dir == Forward {
+				acc := NewBits(p.Bits)
+				if p.Meet == Intersect {
+					acc.Fill(p.Bits)
+				}
+				for _, pr := range blk.Preds {
+					meetInto(acc, out[pr])
+				}
+				if b == 0 {
+					// Entry: the boundary is an additional incoming edge
+					// fact — for must-analyses it caps the meet (facts not
+					// true at entry are not true after a back-edge either).
+					if p.Meet == Intersect {
+						acc.Intersect(boundary)
+					} else {
+						acc.Union(boundary)
+					}
+				}
+				if !in[b].Equal(acc) {
+					in[b].CopyFrom(acc)
+					changed = true
+				}
+				if transfer(out[b], in[b], b) {
+					changed = true
+				}
+			} else {
+				acc := NewBits(p.Bits)
+				if p.Meet == Intersect {
+					acc.Fill(p.Bits)
+				}
+				if len(blk.Succs) == 0 {
+					acc.CopyFrom(boundary)
+				} else {
+					for _, s := range blk.Succs {
+						meetInto(acc, in[s])
+					}
+				}
+				if !out[b].Equal(acc) {
+					out[b].CopyFrom(acc)
+					changed = true
+				}
+				if transfer(in[b], out[b], b) {
+					changed = true
+				}
+			}
+		}
+	}
+	return in, out
+}
+
+// Dominators computes, for every block, the set of blocks that dominate
+// it (including itself), as a bitset over block IDs. Blocks unreachable
+// from the entry report the full set (vacuous domination).
+func Dominators(cfg *sass.CFG) []Bits {
+	nb := len(cfg.Blocks)
+	gen := make([]Bits, nb)
+	for b := 0; b < nb; b++ {
+		gen[b] = NewBits(nb)
+		gen[b].Set(b)
+	}
+	_, out := Solve(cfg, Problem{
+		Dir:  Forward,
+		Meet: Intersect,
+		Bits: nb,
+		Gen:  gen,
+		// Boundary empty: nothing dominates the entry except itself (Gen).
+	})
+	return out
+}
+
+// Dominates reports whether block a dominates block b given Dominators'
+// result.
+func Dominates(dom []Bits, a, b int) bool { return dom[b].Has(a) }
+
+// The register space used by the dataflow problems: GPRs R0..R254 at
+// [0,255), predicates P0..P6 at [predBase, predBase+7), and the condition
+// code at ccIndex. RZ and PT are hardwired and never appear.
+const (
+	predBase     = sass.NumGPR
+	ccIndex      = predBase + sass.NumPred
+	regSpaceBits = ccIndex + 1
+)
+
+// GPRBit returns the regspace index of GPR r.
+func GPRBit(r uint8) int { return int(r) }
+
+// PredBit returns the regspace index of predicate p.
+func PredBit(p uint8) int { return predBase + int(p) }
+
+// CCBit returns the regspace index of the condition code.
+func CCBit() int { return ccIndex }
+
+// RegSpaceName renders a regspace index ("R5", "P3", "CC").
+func RegSpaceName(bit int) string {
+	switch {
+	case bit < predBase:
+		return fmt.Sprintf("R%d", bit)
+	case bit < ccIndex:
+		return fmt.Sprintf("P%d", bit-predBase)
+	default:
+		return "CC"
+	}
+}
+
+// instrUses returns the regspace indices instruction in reads. The guard
+// predicate is a read. A guarded (predicated) destination merges the old
+// register value on inactive lanes, so it normally counts as a read too —
+// except when maybeAssigned is non-nil and says the register cannot have
+// been assigned on any path here, in which case the merged-in value is
+// garbage on every lane and no correct program can depend on it.
+func instrUses(in *sass.Instruction, maybeAssigned Bits) []int {
+	var uses []int
+	for _, r := range in.GPRSrcs() {
+		uses = append(uses, GPRBit(r))
+	}
+	for _, p := range in.PredSrcs() {
+		uses = append(uses, PredBit(p))
+	}
+	if in.Mods.X {
+		uses = append(uses, CCBit())
+	}
+	if !in.Guard.IsAlways() {
+		for _, r := range in.GPRDsts() {
+			if maybeAssigned == nil || maybeAssigned.Has(GPRBit(r)) {
+				uses = append(uses, GPRBit(r))
+			}
+		}
+		for _, p := range in.PredDsts() {
+			if maybeAssigned == nil || maybeAssigned.Has(PredBit(p)) {
+				uses = append(uses, PredBit(p))
+			}
+		}
+		if in.Mods.SetCC && (maybeAssigned == nil || maybeAssigned.Has(CCBit())) {
+			uses = append(uses, CCBit())
+		}
+	}
+	return uses
+}
+
+// instrDefs returns the regspace indices instruction in writes, and
+// whether the write is unconditional (guard always ⇒ the def kills).
+func instrDefs(in *sass.Instruction) (defs []int, uncond bool) {
+	for _, r := range in.GPRDsts() {
+		defs = append(defs, GPRBit(r))
+	}
+	for _, p := range in.PredDsts() {
+		defs = append(defs, PredBit(p))
+	}
+	if in.Mods.SetCC {
+		defs = append(defs, CCBit())
+	}
+	return defs, in.Guard.IsAlways()
+}
+
+// maybeAssignedIn computes, per instruction, the set of regspace entries
+// that may have been assigned (by any def, conditional or not) on at least
+// one path from kernel entry to that instruction. entrySet seeds the
+// kernel entry (the ABI-initialized registers, e.g. the stack pointer).
+func maybeAssignedIn(cfg *sass.CFG) []Bits {
+	nb := len(cfg.Blocks)
+	gen := make([]Bits, nb)
+	for b := 0; b < nb; b++ {
+		gen[b] = NewBits(regSpaceBits)
+		blk := cfg.Blocks[b]
+		for i := blk.Start; i < blk.End; i++ {
+			defs, _ := instrDefs(&cfg.Kernel.Instrs[i])
+			for _, d := range defs {
+				gen[b].Set(d)
+			}
+		}
+	}
+	boundary := NewBits(regSpaceBits)
+	boundary.Set(GPRBit(sass.SP))
+	blockIn, _ := Solve(cfg, Problem{
+		Dir: Forward, Meet: Union, Bits: regSpaceBits,
+		Gen: gen, Boundary: boundary,
+	})
+	// Expand to per-instruction precision.
+	perInstr := make([]Bits, len(cfg.Kernel.Instrs))
+	for b := 0; b < nb; b++ {
+		blk := cfg.Blocks[b]
+		cur := blockIn[b].Copy()
+		for i := blk.Start; i < blk.End; i++ {
+			perInstr[i] = cur.Copy()
+			defs, _ := instrDefs(&cfg.Kernel.Instrs[i])
+			for _, d := range defs {
+				cur.Set(d)
+			}
+		}
+	}
+	return perInstr
+}
+
+// DefSite is one definition site for reaching-definitions: instruction
+// Instr defines regspace entry Reg.
+type DefSite struct {
+	Instr int
+	Reg   int // regspace index
+}
+
+// ReachInfo is the result of ReachingDefs. Bit i of a set refers to
+// Sites[i].
+type ReachInfo struct {
+	cfg   *sass.CFG
+	Sites []DefSite
+	// In and Out are per-block reaching-definition sets.
+	In, Out []Bits
+	// byReg indexes Sites by regspace entry.
+	byReg map[int][]int
+}
+
+// ReachingDefs solves reaching definitions over the CFG: a definition d
+// of register r reaches point p if there is a path from d to p on which r
+// is not unconditionally redefined. Guarded (predicated) definitions
+// generate but do not kill.
+func ReachingDefs(cfg *sass.CFG) *ReachInfo {
+	ri := &ReachInfo{cfg: cfg, byReg: map[int][]int{}}
+	siteAt := map[int][]int{} // instr -> site bit indices
+	for i := range cfg.Kernel.Instrs {
+		defs, _ := instrDefs(&cfg.Kernel.Instrs[i])
+		for _, d := range defs {
+			bit := len(ri.Sites)
+			ri.Sites = append(ri.Sites, DefSite{Instr: i, Reg: d})
+			ri.byReg[d] = append(ri.byReg[d], bit)
+			siteAt[i] = append(siteAt[i], bit)
+		}
+	}
+	nbits := len(ri.Sites)
+	nb := len(cfg.Blocks)
+	gen := make([]Bits, nb)
+	kill := make([]Bits, nb)
+	for b := 0; b < nb; b++ {
+		gen[b] = NewBits(nbits)
+		kill[b] = NewBits(nbits)
+		blk := cfg.Blocks[b]
+		for i := blk.Start; i < blk.End; i++ {
+			defs, uncond := instrDefs(&cfg.Kernel.Instrs[i])
+			if uncond {
+				// An unconditional def kills every other site of the same
+				// register, including earlier gens in this block.
+				for _, d := range defs {
+					for _, s := range ri.byReg[d] {
+						if ri.Sites[s].Instr != i {
+							kill[b].Set(s)
+							gen[b].Clear(s)
+						}
+					}
+				}
+			}
+			for _, s := range siteAt[i] {
+				gen[b].Set(s)
+				kill[b].Clear(s)
+			}
+		}
+	}
+	ri.In, ri.Out = Solve(cfg, Problem{
+		Dir: Forward, Meet: Union, Bits: nbits, Gen: gen, Kill: kill,
+	})
+	return ri
+}
+
+// ReachingAt returns the definition sites of regspace entry reg that
+// reach instruction idx (just before it executes), as instruction
+// indices.
+func (ri *ReachInfo) ReachingAt(idx int, reg int) []int {
+	blk := ri.cfg.BlockOf(idx)
+	cur := ri.In[blk.ID].Copy()
+	for i := blk.Start; i < idx; i++ {
+		defs, uncond := instrDefs(&ri.cfg.Kernel.Instrs[i])
+		if uncond {
+			for _, d := range defs {
+				for _, s := range ri.byReg[d] {
+					cur.Clear(s)
+				}
+			}
+		}
+		for _, d := range defs {
+			for _, s := range ri.byReg[d] {
+				if ri.Sites[s].Instr == i {
+					cur.Set(s)
+				}
+			}
+		}
+	}
+	var out []int
+	for _, s := range ri.byReg[reg] {
+		if cur.Has(s) {
+			out = append(out, ri.Sites[s].Instr)
+		}
+	}
+	return out
+}
+
+// LiveSets is per-block liveness over the regspace, computed with the
+// generic framework. It deliberately re-derives what sass.ComputeLiveness
+// computes instruction-by-instruction; the two implementations are
+// cross-checked against each other by the property tests.
+type LiveSets struct {
+	In, Out []Bits
+}
+
+// BlockLiveness solves backward liveness over the regspace: a register is
+// live-in at a block if some path from the block start reaches a read of
+// it with no unconditional write in between. Guarded destinations count
+// as reads only when the register may have been assigned on some path
+// (see instrUses), matching sass.ComputeLiveness.
+func BlockLiveness(cfg *sass.CFG) *LiveSets {
+	maybe := maybeAssignedIn(cfg)
+	nb := len(cfg.Blocks)
+	gen := make([]Bits, nb)  // upward-exposed uses
+	kill := make([]Bits, nb) // unconditional defs
+	for b := 0; b < nb; b++ {
+		gen[b] = NewBits(regSpaceBits)
+		kill[b] = NewBits(regSpaceBits)
+		blk := cfg.Blocks[b]
+		// Walk backward so earlier uses shadow later kills correctly:
+		// live = (live − kill_i) ∪ use_i composed bottom-up.
+		for i := blk.End - 1; i >= blk.Start; i-- {
+			in := &cfg.Kernel.Instrs[i]
+			defs, uncond := instrDefs(in)
+			if uncond {
+				for _, d := range defs {
+					kill[b].Set(d)
+					gen[b].Clear(d)
+				}
+			}
+			for _, u := range instrUses(in, maybe[i]) {
+				gen[b].Set(u)
+			}
+		}
+	}
+	in, out := Solve(cfg, Problem{
+		Dir: Backward, Meet: Union, Bits: regSpaceBits, Gen: gen, Kill: kill,
+	})
+	return &LiveSets{In: in, Out: out}
+}
+
+// UninitRead is a read of a register that is not definitely assigned on
+// every path from kernel entry.
+type UninitRead struct {
+	Instr int
+	Reg   int // regspace index
+	// Merge marks reads that arise from a predicated destination's merge
+	// of the old register value rather than a source operand.
+	Merge bool
+}
+
+// MaybeUninitReads runs the definite-assignment (forward, must) analysis
+// and reports every read of a GPR/predicate/CC that is reachable from the
+// kernel entry before an unconditional definition on some path. The stack
+// pointer is ABI-initialized and considered assigned at entry.
+//
+// Guarded definitions do not assign definitely — except for a later read
+// under the same guard: in if-converted code, @P0 IADD.CC followed by
+// @P0 IADD.X executes the def exactly when it executes the read, so the
+// pair is tracked block-locally and accepted until the guard predicate is
+// redefined.
+func MaybeUninitReads(cfg *sass.CFG) []UninitRead {
+	maybe := maybeAssignedIn(cfg)
+	nb := len(cfg.Blocks)
+	gen := make([]Bits, nb) // definitely assigned by the block
+	for b := 0; b < nb; b++ {
+		gen[b] = NewBits(regSpaceBits)
+		blk := cfg.Blocks[b]
+		for i := blk.Start; i < blk.End; i++ {
+			defs, uncond := instrDefs(&cfg.Kernel.Instrs[i])
+			if uncond {
+				for _, d := range defs {
+					gen[b].Set(d)
+				}
+			}
+		}
+	}
+	boundary := NewBits(regSpaceBits)
+	boundary.Set(GPRBit(sass.SP))
+	blockIn, _ := Solve(cfg, Problem{
+		Dir: Forward, Meet: Intersect, Bits: regSpaceBits,
+		Gen: gen, Boundary: boundary,
+	})
+
+	var reads []UninitRead
+	for b := 0; b < nb; b++ {
+		blk := cfg.Blocks[b]
+		assigned := blockIn[b].Copy()
+		// condAssigned[g] = registers assigned under guard g since g's
+		// predicate was last written (block-local).
+		condAssigned := map[sass.PredGuard]Bits{}
+		for i := blk.Start; i < blk.End; i++ {
+			in := &cfg.Kernel.Instrs[i]
+			// Genuine source reads, as opposed to a guarded destination's
+			// merge of the old value: operands, guard, carry-in.
+			var srcUses []int
+			for _, r := range in.GPRSrcs() {
+				srcUses = append(srcUses, GPRBit(r))
+			}
+			for _, p := range in.PredSrcs() {
+				srcUses = append(srcUses, PredBit(p))
+			}
+			if in.Mods.X {
+				srcUses = append(srcUses, CCBit())
+			}
+			var condOK Bits
+			if !in.Guard.IsAlways() {
+				condOK = condAssigned[in.Guard]
+			}
+			for _, u := range instrUses(in, maybe[i]) {
+				if !assigned.Has(u) && !condOK.Has(u) {
+					reads = append(reads, UninitRead{
+						Instr: i, Reg: u, Merge: !containsInt(srcUses, u),
+					})
+				}
+			}
+			defs, uncond := instrDefs(in)
+			if uncond {
+				for _, d := range defs {
+					assigned.Set(d)
+				}
+			} else if len(defs) > 0 {
+				ca := condAssigned[in.Guard]
+				if ca == nil {
+					ca = NewBits(regSpaceBits)
+					condAssigned[in.Guard] = ca
+				}
+				for _, d := range defs {
+					ca.Set(d)
+				}
+			}
+			// A write to a predicate invalidates facts conditional on it.
+			for _, p := range in.PredDsts() {
+				delete(condAssigned, sass.PredGuard{Reg: p})
+				delete(condAssigned, sass.PredGuard{Reg: p, Neg: true})
+			}
+		}
+	}
+	return reads
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckDefiniteAssignment converts MaybeUninitReads into warning
+// diagnostics, deduplicated per (instruction, register).
+func CheckDefiniteAssignment(cfg *sass.CFG) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[UninitRead]bool{}
+	for _, r := range MaybeUninitReads(cfg) {
+		key := UninitRead{Instr: r.Instr, Reg: r.Reg}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		what := "read"
+		if r.Merge {
+			what = "merged (predicated write)"
+		}
+		diags = append(diags, Diagnostic{
+			Sev: Warning, Check: CheckDefAssign, Kernel: cfg.Kernel.Name, Instr: r.Instr,
+			Msg: fmt.Sprintf("%s may be %s before assignment", RegSpaceName(r.Reg), what),
+		})
+	}
+	return diags
+}

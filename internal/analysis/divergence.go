@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"fmt"
+	"strconv"
+
+	"sassi/internal/sass"
+)
+
+// Divergence-analysis bounds. Real compiled code nests SSY regions a
+// handful deep; hitting these caps is itself reported.
+const (
+	maxDivDepth  = 32
+	maxCallDepth = 32
+	maxDivStates = 1 << 16
+)
+
+// CheckDivergenceStack abstractly interprets every control-flow path of
+// the kernel, tracking the divergence stack (SSY targets) and the call
+// stack (CAL return addresses) the way the warp scheduler does:
+//
+//   - SSY pushes its reconvergence target;
+//   - SYNC pops the innermost SSY entry and resumes at its target — with
+//     an empty stack the warp silently retires, which is almost always a
+//     compiler bug, so it is an error here;
+//   - a guarded BRA continues along both arms with the same stack (the
+//     hardware defers the fall-through lanes and replays them before
+//     reconvergence, so each arm sees the stack the SSY set up);
+//   - CAL pushes the return address, RET pops it (empty → error);
+//   - JCAL is a handler dispatch with no net stack effect;
+//   - an unconditional EXIT ends the path; a guarded EXIT falls through
+//     (lanes whose guard failed keep executing);
+//   - reaching past the last instruction is an error.
+//
+// Both stacks are depth-bounded; exceeding the bound (unbounded recursion
+// or runaway SSY nesting) is an error. The state space (pc, stacks) is
+// memoized, so loops terminate; if the state budget is exhausted the
+// remaining paths are skipped with a warning.
+//
+// This is deliberately not a CFG dataflow pass: BuildCFG adds
+// conservative edges from an SSY's block to its reconvergence target,
+// which is sound for liveness but merges stack states that never meet at
+// runtime.
+func CheckDivergenceStack(k *sass.Kernel) []Diagnostic {
+	n := len(k.Instrs)
+	var diags []Diagnostic
+	reported := map[string]bool{}
+	report := func(sev Severity, i int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		key := strconv.Itoa(i) + "\x00" + msg
+		if reported[key] {
+			return
+		}
+		reported[key] = true
+		diags = append(diags, Diagnostic{
+			Sev: sev, Check: CheckDivergence, Kernel: k.Name, Instr: i, Msg: msg,
+		})
+	}
+
+	type state struct {
+		pc   int
+		div  []int // SSY reconvergence targets, innermost last
+		call []int // CAL return addresses, innermost last
+	}
+	keyOf := func(s state) string {
+		b := make([]byte, 0, 8+4*(len(s.div)+len(s.call)))
+		b = strconv.AppendInt(b, int64(s.pc), 10)
+		for _, t := range s.div {
+			b = append(b, 'd')
+			b = strconv.AppendInt(b, int64(t), 10)
+		}
+		for _, t := range s.call {
+			b = append(b, 'c')
+			b = strconv.AppendInt(b, int64(t), 10)
+		}
+		return string(b)
+	}
+
+	seen := map[string]bool{}
+	work := []state{{pc: 0}}
+	push := func(s state) {
+		if key := keyOf(s); !seen[key] {
+			seen[key] = true
+			work = append(work, s)
+		}
+	}
+	truncated := false
+
+	for len(work) > 0 {
+		if len(seen) > maxDivStates {
+			truncated = true
+			break
+		}
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+
+		if s.pc >= n {
+			at := n - 1
+			report(Error, at, "control can run past the last instruction (divergence path falls off the kernel end)")
+			continue
+		}
+		in := &k.Instrs[s.pc]
+		guarded := !in.Guard.IsAlways()
+
+		// Successor helper: same stacks, next pc.
+		succ := func(pc int) state {
+			return state{pc: pc, div: s.div, call: s.call}
+		}
+
+		switch in.Op {
+		case sass.OpSSY:
+			t, ok := in.BranchTarget()
+			if !ok || t.Imm < 0 || t.Imm > int64(n) {
+				continue // structural check reports it
+			}
+			if len(s.div) >= maxDivDepth {
+				report(Error, s.pc, "divergence stack exceeds depth %d (runaway SSY nesting)", maxDivDepth)
+				continue
+			}
+			ns := succ(s.pc + 1)
+			ns.div = append(append([]int{}, s.div...), int(t.Imm))
+			push(ns)
+
+		case sass.OpSYNC:
+			if guarded {
+				report(Warning, s.pc, "guard on SYNC is ignored by the warp scheduler")
+			}
+			if len(s.div) == 0 {
+				report(Error, s.pc, "SYNC with empty divergence stack (warp would silently retire)")
+				continue
+			}
+			ns := state{pc: s.div[len(s.div)-1], div: s.div[:len(s.div)-1], call: s.call}
+			push(ns)
+
+		case sass.OpBRA:
+			t, ok := in.BranchTarget()
+			if !ok || t.Imm < 0 || t.Imm > int64(n) {
+				continue
+			}
+			push(succ(int(t.Imm)))
+			if guarded {
+				push(succ(s.pc + 1))
+			}
+
+		case sass.OpEXIT:
+			if guarded {
+				push(succ(s.pc + 1))
+			}
+			// Unconditional EXIT ends the path; leftover SSY entries are
+			// fine (other lane subsets resume through them).
+
+		case sass.OpCAL:
+			t, ok := in.BranchTarget()
+			if !ok || t.Imm < 0 || t.Imm > int64(n) {
+				continue
+			}
+			if guarded {
+				report(Warning, s.pc, "guarded CAL diverges unless the guard is warp-uniform (the backend rejects divergent CAL)")
+			}
+			if len(s.call) >= maxCallDepth {
+				report(Error, s.pc, "call stack exceeds depth %d (unbounded recursion?)", maxCallDepth)
+				continue
+			}
+			ns := succ(int(t.Imm))
+			ns.call = append(append([]int{}, s.call...), s.pc+1)
+			push(ns)
+			if guarded {
+				push(succ(s.pc + 1))
+			}
+
+		case sass.OpRET:
+			if len(s.call) == 0 {
+				report(Error, s.pc, "RET with empty call stack")
+				continue
+			}
+			ns := state{pc: s.call[len(s.call)-1], div: s.div, call: s.call[:len(s.call)-1]}
+			push(ns)
+			if guarded {
+				push(succ(s.pc + 1))
+			}
+
+		case sass.OpPBK, sass.OpBRK:
+			// Structural check reports these; no useful successor model.
+			continue
+
+		default:
+			// JCAL included: handler dispatch, no net stack effect.
+			push(succ(s.pc + 1))
+		}
+	}
+
+	if truncated {
+		report(Warning, -1, "divergence analysis truncated after %d states; remaining paths unchecked", maxDivStates)
+	}
+	return diags
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"testing"
+
+	"sassi/internal/sass"
+)
+
+// fuzzSeedKernel is a small kernel exercising every serialized feature:
+// labels, params, guards, modifiers, memory and control operands.
+func fuzzSeedKernel(t testing.TB) *sass.Kernel {
+	ld := sass.New(sass.OpLDG, []sass.Operand{sass.R(4)}, []sass.Operand{sass.Mem(2, 8)})
+	ld.Mods.E = true
+	ld.Mods.Width = sass.W64
+	cc := sass.New(sass.OpIADD, []sass.Operand{sass.R(6)}, []sass.Operand{sass.R(4), sass.Imm(1)})
+	cc.Mods.SetCC = true
+	k := &sass.Kernel{
+		Name: "fuzz", NumRegs: 8, NumPreds: 2,
+		Labels: map[string]int{"out": 5},
+		Instrs: []sass.Instruction{
+			sass.New(sass.OpMOV32, []sass.Operand{sass.R(2)}, []sass.Operand{sass.CMem(0, sass.ParamBase)}),
+			ld,
+			sass.New(sass.OpISETP, []sass.Operand{sass.P(0)}, []sass.Operand{sass.R(4), sass.Imm(0), sass.P(sass.PT)}),
+			cc,
+			sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("out")}).WithGuard(sass.PredGuard{Reg: 0, Neg: true}),
+			sass.New(sass.OpEXIT, nil, nil),
+		},
+	}
+	k.AddParam("p", 8)
+	if err := k.ResolveLabels(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// FuzzVerify feeds mutated kernel encodings through the decoder and the
+// full verifier: whatever bytes arrive, the pipeline must diagnose, never
+// panic. This is the robustness contract sassi-lint relies on for
+// .sasskrn inputs.
+func FuzzVerify(f *testing.F) {
+	seed, err := fuzzSeedKernel(f).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	// Hand-corrupted variants steer the fuzzer at interesting boundaries.
+	truncated := append([]byte(nil), seed[:len(seed)/2]...)
+	f.Add(truncated)
+	zeroed := append([]byte(nil), seed...)
+	for i := len(zeroed) - 8; i < len(zeroed); i++ {
+		zeroed[i] = 0xff
+	}
+	f.Add(zeroed)
+	f.Add([]byte("SASSKRN1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return // bound decode cost; corruption coverage is size-independent
+		}
+		k := new(sass.Kernel)
+		if err := k.UnmarshalBinary(data); err != nil {
+			return // rejecting garbage is the expected path
+		}
+		diags := VerifyKernel(k)
+		SortDiagnostics(diags)
+		for _, d := range diags {
+			_ = d.String()
+		}
+	})
+}

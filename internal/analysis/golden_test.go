@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestDiagnosticFormattingGolden pins the rendered diagnostic format (and
+// SortDiagnostics' ordering) against a checked-in golden file: tools like
+// sassi-lint print these lines, so the format is an interface.
+func TestDiagnosticFormattingGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{Sev: Warning, Check: CheckDefAssign, Kernel: "saxpy", Instr: 4,
+			Msg: "R7 may be read before assignment"},
+		{Sev: Error, Check: CheckDivergence, Kernel: "saxpy", Instr: 4,
+			Msg: "SYNC with empty divergence stack (warp would silently retire)"},
+		{Sev: Error, Check: CheckStructural, File: "examples/bad.sptx", Kernel: "saxpy", Instr: 0,
+			Msg: "BRA target 99 is past the kernel end (12 instructions)"},
+		{Sev: Error, Check: CheckRoundTrip, Kernel: "reduce", Instr: -1,
+			Msg: "instruction count 12 became 11"},
+		{Sev: Error, Check: CheckInstrSafety, Kernel: "reduce", Instr: 33,
+			Msg: "live R4 is not saved before the handler call (handlers may clobber R0..R15)"},
+		{Sev: Warning, Check: CheckStructural, Kernel: "reduce", Instr: 33,
+			Msg: "result is discarded (every destination is RZ/PT)"},
+	}
+	SortDiagnostics(diags)
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "diagnostics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/analysis` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostic rendering changed.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

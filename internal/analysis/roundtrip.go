@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+
+	"sassi/internal/sass"
+)
+
+// CheckRoundTripEncoding serializes the kernel with MarshalBinary,
+// deserializes it, and requires the result to be semantically identical:
+// every instruction field the encoding carries must survive Encode→Decode
+// unchanged. (The Comment field is debug-only and deliberately not
+// encoded; it is excluded from the comparison.)
+func CheckRoundTripEncoding(k *sass.Kernel) []Diagnostic {
+	kernelDiag := func(format string, args ...any) []Diagnostic {
+		return []Diagnostic{{
+			Sev: Error, Check: CheckRoundTrip, Kernel: k.Name, Instr: -1,
+			Msg: fmt.Sprintf(format, args...),
+		}}
+	}
+	data, err := k.MarshalBinary()
+	if err != nil {
+		return kernelDiag("encode failed: %v", err)
+	}
+	var dec sass.Kernel
+	if err := dec.UnmarshalBinary(data); err != nil {
+		return kernelDiag("decode of own encoding failed: %v", err)
+	}
+	return DiffKernels(k, &dec, CheckRoundTrip)
+}
+
+// DiffKernels compares two kernels field by field and reports every
+// difference as an error diagnostic under the given check name,
+// positioned in kernel a. It is the comparison core of both the
+// round-trip check and the round-trip unit tests (which corrupt the
+// decoded copy and expect the differences found).
+func DiffKernels(a, b *sass.Kernel, check string) []Diagnostic {
+	var diags []Diagnostic
+	bad := func(i int, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Sev: Error, Check: check, Kernel: a.Name, Instr: i,
+			Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	if a.Name != b.Name {
+		bad(-1, "name %q became %q", a.Name, b.Name)
+	}
+	if a.NumRegs != b.NumRegs || a.NumPreds != b.NumPreds {
+		bad(-1, "register counts (%d GPR, %d pred) became (%d, %d)",
+			a.NumRegs, a.NumPreds, b.NumRegs, b.NumPreds)
+	}
+	if a.SharedBytes != b.SharedBytes || a.LocalBytes != b.LocalBytes {
+		bad(-1, "memory sizes (shared %d, local %d) became (%d, %d)",
+			a.SharedBytes, a.LocalBytes, b.SharedBytes, b.LocalBytes)
+	}
+	if len(a.Params) != len(b.Params) {
+		bad(-1, "parameter count %d became %d", len(a.Params), len(b.Params))
+	} else {
+		for i := range a.Params {
+			if a.Params[i] != b.Params[i] {
+				bad(-1, "parameter %d %+v became %+v", i, a.Params[i], b.Params[i])
+			}
+		}
+	}
+	if len(a.Labels) != len(b.Labels) {
+		bad(-1, "label count %d became %d", len(a.Labels), len(b.Labels))
+	} else {
+		for name, idx := range a.Labels {
+			if got, ok := b.Labels[name]; !ok || got != idx {
+				bad(-1, "label %q index %d became %d (present=%t)", name, idx, got, ok)
+			}
+		}
+	}
+	if len(a.Instrs) != len(b.Instrs) {
+		bad(-1, "instruction count %d became %d", len(a.Instrs), len(b.Instrs))
+		return diags
+	}
+	const maxInstrDiffs = 8
+	reportedInstrs := 0
+	for i := range a.Instrs {
+		if msg := instrDiff(&a.Instrs[i], &b.Instrs[i]); msg != "" {
+			if reportedInstrs++; reportedInstrs > maxInstrDiffs {
+				bad(-1, "further instruction differences suppressed")
+				break
+			}
+			bad(i, "instruction changed: %s", msg)
+		}
+	}
+	return diags
+}
+
+// instrDiff describes the first semantic difference between two
+// instructions, or "" if they are equivalent. Comment is ignored; nil and
+// empty operand slices are equivalent.
+func instrDiff(a, b *sass.Instruction) string {
+	if a.Op != b.Op {
+		return fmt.Sprintf("opcode %v became %v", a.Op, b.Op)
+	}
+	if a.Guard != b.Guard {
+		return fmt.Sprintf("guard %+v became %+v", a.Guard, b.Guard)
+	}
+	if a.Mods != b.Mods {
+		return fmt.Sprintf("modifiers %+v became %+v", a.Mods, b.Mods)
+	}
+	if a.Injected != b.Injected {
+		return fmt.Sprintf("injected flag %t became %t", a.Injected, b.Injected)
+	}
+	if msg := operandsDiff("destination", a.Dsts, b.Dsts); msg != "" {
+		return msg
+	}
+	return operandsDiff("source", a.Srcs, b.Srcs)
+}
+
+func operandsDiff(what string, a, b []sass.Operand) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%s count %d became %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s %d %v became %v", what, i, a[i], b[i])
+		}
+	}
+	return ""
+}

@@ -3,6 +3,7 @@ package ptxas
 import (
 	"fmt"
 
+	"sassi/internal/analysis"
 	"sassi/internal/ptx"
 	"sassi/internal/sass"
 )
@@ -23,13 +24,18 @@ type Options struct {
 	// NoCopyProp disables PTX-level copy propagation and dead code
 	// elimination (ablation knob).
 	NoCopyProp bool
+
+	// Verify controls the static-verification post-pass over the emitted
+	// SASS (internal/analysis). The zero value runs it under `go test`
+	// only; see analysis.VerifyMode.
+	Verify analysis.VerifyMode
 }
 
 // CacheKey returns a string uniquely identifying these options, for use as
 // part of a compile-cache key.
 func (o Options) CacheKey() string {
-	return fmt.Sprintf("maxregs=%d ifcvt=%t movcoal=%t copyprop=%t",
-		o.MaxRegs, !o.NoIfConvert, !o.NoCoalesceMov, !o.NoCopyProp)
+	return fmt.Sprintf("maxregs=%d ifcvt=%t movcoal=%t copyprop=%t verify=%t",
+		o.MaxRegs, !o.NoIfConvert, !o.NoCoalesceMov, !o.NoCopyProp, o.Verify.Enabled())
 }
 
 // Compile lowers a verified PTX module into a SASS program.
@@ -44,6 +50,12 @@ func Compile(m *ptx.Module, opts Options) (*sass.Program, error) {
 			return nil, err
 		}
 		prog.AddKernel(k)
+	}
+	if opts.Verify.Enabled() {
+		if diags := analysis.Verify(prog); analysis.HasErrors(diags) {
+			return nil, fmt.Errorf("ptxas: emitted SASS failed verification: %w",
+				&analysis.VerifyError{Diags: diags})
+		}
 	}
 	return prog, nil
 }

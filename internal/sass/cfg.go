@@ -123,8 +123,19 @@ func BuildCFG(k *Kernel) (*CFG, error) {
 					addEdge(b.ID, fb)
 				}
 			}
-		case OpEXIT, OpRET:
-			// No successors.
+		case OpEXIT:
+			// No successors when unconditional. A guarded EXIT only
+			// retires the lanes whose guard passes; the remaining lanes
+			// fall through, so the next block is a real successor (the
+			// simulator advances the PC whenever Active is non-empty).
+			if !last.Guard.IsAlways() {
+				if fb, ok := blockAt(b.End); ok {
+					addEdge(b.ID, fb)
+				}
+			}
+		case OpRET:
+			// No successors: the return target lives on the call stack,
+			// and the scheduler pops it regardless of the guard.
 		case OpBRK:
 			// Break transfers to the PBK target; conservatively treat
 			// as also possibly falling through for liveness purposes.

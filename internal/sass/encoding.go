@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 )
 
 // Summary-word encoding. SASSI passes each instrumented instruction's static
@@ -204,15 +205,24 @@ func marshalInstr(b *bytes.Buffer, in *Instruction, writeStr func(string), write
 func (k *Kernel) UnmarshalBinary(data []byte) error {
 	r := bytes.NewReader(data)
 	magic := make([]byte, len(kernelMagic))
-	if _, err := r.Read(magic); err != nil || string(magic) != kernelMagic {
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != kernelMagic {
 		return fmt.Errorf("bad kernel magic")
 	}
 	readU32 := func() (uint32, error) {
 		var n [4]byte
-		if _, err := r.Read(n[:]); err != nil {
+		if _, err := io.ReadFull(r, n[:]); err != nil {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint32(n[:]), nil
+	}
+	// Cap a declared element count by the bytes actually remaining, so a
+	// corrupted count cannot drive a huge allocation before the element
+	// reads fail.
+	checkCount := func(what string, n, minSize int) error {
+		if n < 0 || n*minSize > r.Len() {
+			return fmt.Errorf("%s count %d exceeds remaining input (%d bytes)", what, n, r.Len())
+		}
+		return nil
 	}
 	readStr := func() (string, error) {
 		n, err := readU32()
@@ -251,6 +261,9 @@ func (k *Kernel) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := checkCount("param", np, 12); err != nil {
+		return err
+	}
 	k.Params = make([]ParamDesc, np)
 	for i := range k.Params {
 		if k.Params[i].Name, err = readStr(); err != nil {
@@ -261,6 +274,9 @@ func (k *Kernel) UnmarshalBinary(data []byte) error {
 	}
 	nl := geti()
 	if err != nil {
+		return err
+	}
+	if err := checkCount("label", nl, 8); err != nil {
 		return err
 	}
 	k.Labels = make(map[string]int, nl)
@@ -275,6 +291,9 @@ func (k *Kernel) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
+	if err := checkCount("instruction", ni, 13); err != nil {
+		return err
+	}
 	k.Instrs = make([]Instruction, ni)
 	for i := range k.Instrs {
 		if err := unmarshalInstr(r, &k.Instrs[i], readStr); err != nil {
@@ -286,7 +305,7 @@ func (k *Kernel) UnmarshalBinary(data []byte) error {
 
 func unmarshalInstr(r *bytes.Reader, in *Instruction, readStr func() (string, error)) error {
 	hdr := make([]byte, 11)
-	if _, err := r.Read(hdr); err != nil {
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return err
 	}
 	in.Op = Opcode(hdr[0])
@@ -313,7 +332,7 @@ func unmarshalInstr(r *bytes.Reader, in *Instruction, readStr func() (string, er
 		ops := make([]Operand, nb)
 		for i := range ops {
 			raw := make([]byte, 13)
-			if _, err := r.Read(raw); err != nil {
+			if _, err := io.ReadFull(r, raw); err != nil {
 				return nil, err
 			}
 			ops[i] = Operand{

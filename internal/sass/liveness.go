@@ -110,8 +110,15 @@ type LiveInfo struct {
 
 // instrDefsUses computes the def and use sets of one instruction. A
 // predicated instruction's definition is treated as a partial def (the old
-// value survives in inactive threads), so guarded defs do not kill.
-func instrDefsUses(in *Instruction) (def, use RegSet, pdef, puse PredSet, ccDef, ccUse bool) {
+// value survives in inactive threads), so guarded defs do not kill — and
+// the merged-in old value counts as a use, but only when the register may
+// actually have been assigned on some path to this instruction (maybeR /
+// maybeP / maybeCC). Without that refinement, an if-converted body's
+// temporaries — first written under a predicate — would appear live all
+// the way back to kernel entry, and every instrumentation site before
+// them would pointlessly spill garbage. Nil maybe-sets mean "anything may
+// be assigned" (fully conservative).
+func instrDefsUses(in *Instruction, maybeR *RegSet, maybeP PredSet, maybeCC bool) (def, use RegSet, pdef, puse PredSet, ccDef, ccUse bool) {
 	for _, r := range in.GPRSrcs() {
 		use.Add(r)
 	}
@@ -121,8 +128,11 @@ func instrDefsUses(in *Instruction) (def, use RegSet, pdef, puse PredSet, ccDef,
 		}
 		if in.Guard.IsAlways() {
 			def.Add(r)
-		} else {
-			// Partial def: conservatively also a use (merge semantics).
+		} else if maybeR == nil || maybeR.Has(r) {
+			// Partial def: conservatively also a use (merge semantics) —
+			// unless no path has ever assigned r, in which case the merge
+			// reads garbage on every lane and no correct program depends
+			// on it.
 			use.Add(r)
 		}
 	}
@@ -132,13 +142,13 @@ func instrDefsUses(in *Instruction) (def, use RegSet, pdef, puse PredSet, ccDef,
 	for _, p := range in.PredDsts() {
 		if in.Guard.IsAlways() {
 			pdef.Add(p)
-		} else {
+		} else if maybeP.Has(p) {
 			puse.Add(p)
 		}
 	}
 	if in.Mods.SetCC {
 		ccDef = in.Guard.IsAlways()
-		if !ccDef {
+		if !ccDef && maybeCC {
 			ccUse = true
 		}
 	}
@@ -149,6 +159,75 @@ func instrDefsUses(in *Instruction) (def, use RegSet, pdef, puse PredSet, ccDef,
 	// that care add it explicitly. JCAL/CAL clobber the ABI scratch regs but
 	// SASSI inserts those itself, so no special casing here.
 	return
+}
+
+// maybeAssignedAt computes, per instruction, the registers that may have
+// been assigned (by any definition, predicated or not) on at least one
+// path from kernel entry — a forward may-analysis. The stack pointer is
+// ABI-initialized and counts as assigned at entry.
+func maybeAssignedAt(cfg *CFG) (regs []RegSet, preds []PredSet, cc []bool) {
+	k := cfg.Kernel
+	n := len(k.Instrs)
+	regs = make([]RegSet, n)
+	preds = make([]PredSet, n)
+	cc = make([]bool, n)
+	nb := len(cfg.Blocks)
+	// Per-block gen (every def in the block) and the block-in fixpoint.
+	genR := make([]RegSet, nb)
+	genP := make([]PredSet, nb)
+	genCC := make([]bool, nb)
+	addDefs := func(in *Instruction, r *RegSet, p *PredSet, c *bool) {
+		for _, d := range in.GPRDsts() {
+			if d != RZ {
+				r.Add(d)
+			}
+		}
+		for _, d := range in.PredDsts() {
+			p.Add(d)
+		}
+		if in.Mods.SetCC {
+			*c = true
+		}
+	}
+	for bi, b := range cfg.Blocks {
+		for i := b.Start; i < b.End; i++ {
+			addDefs(&k.Instrs[i], &genR[bi], &genP[bi], &genCC[bi])
+		}
+	}
+	inR := make([]RegSet, nb)
+	inP := make([]PredSet, nb)
+	inCC := make([]bool, nb)
+	inR[0].Add(SP)
+	for changed := true; changed; {
+		changed = false
+		for bi, b := range cfg.Blocks {
+			var accR RegSet
+			var accP PredSet
+			accCC := false
+			if bi == 0 {
+				accR.Add(SP)
+			}
+			for _, pr := range b.Preds {
+				accR.Union(&genR[pr])
+				accR.Union(&inR[pr])
+				accP.Union(genP[pr])
+				accP.Union(inP[pr])
+				accCC = accCC || genCC[pr] || inCC[pr]
+			}
+			if accR != inR[bi] || accP != inP[bi] || accCC != inCC[bi] {
+				inR[bi], inP[bi], inCC[bi] = accR, accP, accCC
+				changed = true
+			}
+		}
+	}
+	for bi, b := range cfg.Blocks {
+		curR, curP, curCC := inR[bi], inP[bi], inCC[bi]
+		for i := b.Start; i < b.End; i++ {
+			regs[i], preds[i], cc[i] = curR, curP, curCC
+			addDefs(&k.Instrs[i], &curR, &curP, &curCC)
+		}
+	}
+	return regs, preds, cc
 }
 
 // ComputeLiveness runs backward dataflow over the CFG to a fixed point.
@@ -172,8 +251,10 @@ func ComputeLiveness(cfg *CFG) *LiveInfo {
 	puses := make([]PredSet, n)
 	ccdefs := make([]bool, n)
 	ccuses := make([]bool, n)
+	maybeR, maybeP, maybeCC := maybeAssignedAt(cfg)
 	for i := range k.Instrs {
-		defs[i], uses[i], pdefs[i], puses[i], ccdefs[i], ccuses[i] = instrDefsUses(&k.Instrs[i])
+		defs[i], uses[i], pdefs[i], puses[i], ccdefs[i], ccuses[i] =
+			instrDefsUses(&k.Instrs[i], &maybeR[i], maybeP[i], maybeCC[i])
 	}
 
 	changed := true

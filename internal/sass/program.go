@@ -51,6 +51,27 @@ type Kernel struct {
 	Params []ParamDesc
 }
 
+// Clone returns a deep copy of the kernel sharing no mutable state, so the
+// copy survives in-place rewrites (e.g. instrumentation) of the original.
+func (k *Kernel) Clone() *Kernel {
+	c := *k
+	c.Instrs = make([]Instruction, len(k.Instrs))
+	for i := range k.Instrs {
+		in := k.Instrs[i]
+		in.Dsts = append([]Operand(nil), in.Dsts...)
+		in.Srcs = append([]Operand(nil), in.Srcs...)
+		c.Instrs[i] = in
+	}
+	c.Params = append([]ParamDesc(nil), k.Params...)
+	if k.Labels != nil {
+		c.Labels = make(map[string]int, len(k.Labels))
+		for name, idx := range k.Labels {
+			c.Labels[name] = idx
+		}
+	}
+	return &c
+}
+
 // AddParam appends a parameter with natural alignment and returns its
 // constant-bank offset.
 func (k *Kernel) AddParam(name string, size int) int {

@@ -1,0 +1,38 @@
+package sassi
+
+import (
+	"fmt"
+
+	"sassi/internal/sass"
+)
+
+// Error is the structured error type instrumentation failures carry: it
+// records which kernel (and, when known, which original instruction's site)
+// the failure belongs to, so tooling can point at a position instead of
+// re-parsing a message string.
+type Error struct {
+	// Kernel is the kernel being instrumented; empty for program-level
+	// failures (bad options, cross-kernel verification).
+	Kernel string
+	// Site is the original-instruction index of the site being injected,
+	// or -1 when the failure is not tied to one site.
+	Site int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the position prefix followed by the cause.
+func (e *Error) Error() string {
+	switch {
+	case e.Kernel == "":
+		return fmt.Sprintf("sassi: %v", e.Err)
+	case e.Site < 0:
+		return fmt.Sprintf("sassi: kernel %s: %v", e.Kernel, e.Err)
+	default:
+		return fmt.Sprintf("sassi: kernel %s: site @%04x: %v",
+			e.Kernel, sass.InsOffset(e.Site), e.Err)
+	}
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }

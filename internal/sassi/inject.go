@@ -1,8 +1,9 @@
 package sassi
 
 import (
-	"fmt"
+	"errors"
 
+	"sassi/internal/analysis"
 	"sassi/internal/mem"
 	"sassi/internal/sass"
 )
@@ -10,21 +11,51 @@ import (
 // Instrument rewrites every selected kernel of prog in place, injecting
 // ABI-compliant handler calls at the sites selected by opts. The original
 // instructions are preserved verbatim and in order; only new instructions
-// (marked Injected) are inserted around them.
+// (marked Injected) are inserted around them. Failures are reported as
+// *Error carrying the kernel and site position. With opts.Verify enabled,
+// the rewritten kernels are statically checked against their originals
+// (analysis.VerifyInstrumentedProgram) before Instrument returns.
 func Instrument(prog *sass.Program, opts Options) error {
 	if opts.BeforeHandler == "" && opts.AfterHandler == "" {
-		return fmt.Errorf("sassi: no handler symbol given")
+		return &Error{Site: -1, Err: errors.New("no handler symbol given")}
+	}
+	verify := opts.Verify.Enabled()
+	var origs, insts *sass.Program
+	var origPos map[string][]int
+	if verify {
+		origs, insts = sass.NewProgram(), sass.NewProgram()
+		origPos = map[string][]int{}
 	}
 	siteID := int32(0)
 	for ki, k := range prog.Kernels {
 		if !opts.wantsKernel(k.Name) {
 			continue
 		}
-		n, err := instrumentKernel(prog, k, ki, &opts, siteID)
+		var orig *sass.Kernel
+		if verify {
+			orig = k.Clone()
+		}
+		n, remap, err := instrumentKernel(prog, k, ki, &opts, siteID)
 		if err != nil {
-			return fmt.Errorf("sassi: kernel %s: %w", k.Name, err)
+			var ie *Error
+			if errors.As(err, &ie) {
+				return err
+			}
+			return &Error{Kernel: k.Name, Site: -1, Err: err}
 		}
 		siteID += n
+		if verify {
+			origs.AddKernel(orig)
+			insts.AddKernel(k)
+			origPos[k.Name] = remap
+		}
+	}
+	if verify {
+		diags := analysis.VerifyInstrumentedProgram(origs, insts, Spec(), origPos)
+		diags = append(diags, analysis.Verify(prog)...)
+		if analysis.HasErrors(diags) {
+			return &Error{Site: -1, Err: &analysis.VerifyError{Diags: diags}}
+		}
 	}
 	return nil
 }
@@ -81,10 +112,14 @@ func (ij *injector) field(off int64, v int32) {
 	ij.stl(off, 4)
 }
 
-func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options, siteBase int32) (int32, error) {
+// instrumentKernel rewrites one kernel. It returns the number of sites it
+// injected and the output position of each input instruction (the remap
+// table), which the verifier uses to tell this pass's additions apart from
+// the input — the Injected flags alone cannot, once passes stack.
+func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options, siteBase int32) (int32, []int, error) {
 	cfg, err := sass.BuildCFG(k)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	li := sass.ComputeLiveness(cfg)
 
@@ -97,6 +132,9 @@ func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options,
 
 	ij := &injector{prog: prog, k: k, opts: opts}
 	remap := make([]int, len(k.Instrs)+1)
+	// origAt[i] = output position of input instruction i itself; remap[i]
+	// points before i's injected before-site code (where labels land).
+	origAt := make([]int, len(k.Instrs))
 	sites := int32(0)
 
 	selected := func(i int) bool {
@@ -118,6 +156,7 @@ func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options,
 			sites++
 		}
 
+		origAt[i] = len(ij.out)
 		ij.out = append(ij.out, *in) // the original instruction, untouched
 
 		if opts.afterSite(in) && opts.AfterHandler != "" && selected(i) {
@@ -148,7 +187,7 @@ func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options,
 	if k.NumRegs < HandlerMaxRegs {
 		k.NumRegs = HandlerMaxRegs
 	}
-	return sites, nil
+	return sites, origAt, nil
 }
 
 // injectCall emits the full ABI-compliant call sequence for one site.
@@ -169,17 +208,31 @@ func (ij *injector) injectCall(origIdx int, in *sass.Instruction, live sass.RegS
 	// (2) Spill the live registers the handler may clobber. Only registers
 	// below HandlerMaxRegs need saving: the handler is compiled with
 	// -maxrregcount=16 (§3.2 of the paper).
-	var spillRegs []uint8
+	var spillSet sass.RegSet
 	for _, r := range live.Regs() {
 		if r == sass.SP {
 			continue
 		}
 		if int(r) < HandlerMaxRegs {
-			spillRegs = append(spillRegs, r)
+			spillSet.Add(r)
 		}
 	}
+	// The memory-address materialization below replicates the original
+	// address arithmetic, but it runs after P2R has overwritten R3 with the
+	// predicate snapshot. If the address depends on R3's original value,
+	// spill it even when dead so the materialization can reload it.
+	if extra > 0 && ij.opts.What&PassMemoryInfo != 0 && in.Op.IsMem() {
+		for _, r := range memAddrRegs(in) {
+			if r == scratchPred {
+				spillSet.Add(r)
+			}
+		}
+	}
+	spillRegs := spillSet.Regs()
+	spillOff := make(map[uint8]int64, len(spillRegs))
 	for slot, r := range spillRegs {
-		ij.stl(bpGPRSpill+int64(slot)*4, r)
+		spillOff[r] = bpGPRSpill + int64(slot)*4
+		ij.stl(spillOff[r], r)
 	}
 	// Predicates and condition code ride through R3 (already spilled if
 	// it was live).
@@ -194,7 +247,7 @@ func (ij *injector) injectCall(origIdx int, in *sass.Instruction, live sass.RegS
 	// captured before scratch registers are reused: the extra object's
 	// address computation and the will-execute flag.
 	if extra > 0 {
-		ij.materializeExtra(origIdx, in, int64(bpSize))
+		ij.materializeExtra(origIdx, in, int64(bpSize), spillOff)
 	}
 	ij.willExecute(in)
 
@@ -284,11 +337,29 @@ func (ij *injector) willExecute(in *sass.Instruction) {
 	ij.stl(bpWillExec, 4)
 }
 
+// memAddrRegs returns the GPRs whose original values the memory-params
+// materialization reads: the address base register and, for an extended
+// (64-bit) reference, the high half of the base pair.
+func memAddrRegs(in *sass.Instruction) []uint8 {
+	for _, s := range in.Srcs {
+		if s.Kind != sass.OpdMem || s.Reg == sass.RZ {
+			continue
+		}
+		if in.Mods.E {
+			return []uint8{s.Reg, s.Reg + 1}
+		}
+		return []uint8{s.Reg}
+	}
+	return nil
+}
+
 // materializeExtra builds the extra parameter object at [R1+base].
-func (ij *injector) materializeExtra(origIdx int, in *sass.Instruction, base int64) {
+// spillOff maps spilled registers to their frame slots, for reloading
+// original values that injected code has since overwritten.
+func (ij *injector) materializeExtra(origIdx int, in *sass.Instruction, base int64, spillOff map[uint8]int64) {
 	switch {
 	case ij.opts.What&PassMemoryInfo != 0 && in.Op.IsMem():
-		ij.materializeMemParams(in, base)
+		ij.materializeMemParams(in, base, spillOff)
 	case ij.opts.What&PassCondBranchInfo != 0 && in.IsCondBranch():
 		ij.materializeCondBranchParams(origIdx, in, base)
 	case ij.opts.What&PassRegisterInfo != 0:
@@ -299,7 +370,7 @@ func (ij *injector) materializeExtra(origIdx int, in *sass.Instruction, base int
 // materializeMemParams computes the effective address into (R6,R7) by
 // replicating the original address arithmetic (Figure 2 step 5) and fills
 // in the static width/properties/domain fields.
-func (ij *injector) materializeMemParams(in *sass.Instruction, base int64) {
+func (ij *injector) materializeMemParams(in *sass.Instruction, base int64, spillOff map[uint8]int64) {
 	var ref sass.Operand
 	hasRef := false
 	for _, s := range in.Srcs {
@@ -308,6 +379,17 @@ func (ij *injector) materializeMemParams(in *sass.Instruction, base int64) {
 			hasRef = true
 			break
 		}
+	}
+	// By this point R3 holds the predicate snapshot, not its original value.
+	// If the address base (or the high half of an extended pair) is R3,
+	// reload the original from its spill slot into the scratch register that
+	// will receive the result anyway.
+	origReg := func(r, scratch uint8) uint8 {
+		if r == scratchPred {
+			ij.ldl(spillOff[r], scratch)
+			return scratch
+		}
+		return r
 	}
 	domain := int32(0)
 	switch in.Op {
@@ -326,31 +408,32 @@ func (ij *injector) materializeMemParams(in *sass.Instruction, base int64) {
 		ij.movImm(7, 0)
 	case in.Mods.E:
 		// 64-bit base pair + displacement.
+		lo := origReg(ref.Reg, 6)
 		ij.emitOp(sass.OpIADD, sass.Mods{SetCC: true}, []sass.Operand{sass.R(6)},
-			[]sass.Operand{sass.R(ref.Reg), sass.Imm(ref.Imm)})
+			[]sass.Operand{sass.R(lo), sass.Imm(ref.Imm)})
 		hi := sass.Operand(sass.R(sass.RZ))
 		if ref.Reg != sass.RZ {
-			hi = sass.R(ref.Reg + 1)
+			hi = sass.R(origReg(ref.Reg+1, 7))
 		}
 		ij.emitOp(sass.OpIADD, sass.Mods{X: true}, []sass.Operand{sass.R(7)},
 			[]sass.Operand{hi, sass.R(sass.RZ)})
 	case in.Op == sass.OpLDL || in.Op == sass.OpSTL:
 		// Local offset -> generic address through the local window base.
 		ij.emitOp(sass.OpIADD, sass.Mods{}, []sass.Operand{sass.R(6)},
-			[]sass.Operand{sass.R(ref.Reg), sass.Imm(ref.Imm)})
+			[]sass.Operand{sass.R(origReg(ref.Reg, 6)), sass.Imm(ref.Imm)})
 		ij.emitOp(sass.OpLOP, sass.Mods{Logic: sass.LogicOR}, []sass.Operand{sass.R(6)},
 			[]sass.Operand{sass.R(6), sass.CMem(0, sass.CBStackBase)})
 		ij.movImm(7, 0)
 	case in.Op == sass.OpLDS || in.Op == sass.OpSTS || in.Op == sass.OpATOMS:
 		ij.emitOp(sass.OpIADD, sass.Mods{}, []sass.Operand{sass.R(6)},
-			[]sass.Operand{sass.R(ref.Reg), sass.Imm(ref.Imm)})
+			[]sass.Operand{sass.R(origReg(ref.Reg, 6)), sass.Imm(ref.Imm)})
 		ij.emitOp(sass.OpLOP, sass.Mods{Logic: sass.LogicOR}, []sass.Operand{sass.R(6)},
 			[]sass.Operand{sass.R(6), sass.CMem(0, sass.CBSharedBase)})
 		ij.movImm(7, 0)
 	default:
 		// 32-bit base (constant bank and exotic cases): no window.
 		ij.emitOp(sass.OpIADD, sass.Mods{}, []sass.Operand{sass.R(6)},
-			[]sass.Operand{sass.R(ref.Reg), sass.Imm(ref.Imm)})
+			[]sass.Operand{sass.R(origReg(ref.Reg, 6)), sass.Imm(ref.Imm)})
 		ij.movImm(7, 0)
 	}
 	ij.stl64(base+mpAddress, 6)

@@ -3,6 +3,7 @@ package sassi
 import (
 	"fmt"
 
+	"sassi/internal/analysis"
 	"sassi/internal/sass"
 )
 
@@ -84,6 +85,25 @@ type Options struct {
 	// Kernels, when non-empty, restricts instrumentation to the named
 	// kernels.
 	Kernels []string
+
+	// Verify controls the static safety check run after instrumentation
+	// (internal/analysis): original code preserved, live state saved and
+	// restored around handler calls, site IDs dense. The zero value runs
+	// it under `go test` only; see analysis.VerifyMode.
+	Verify analysis.VerifyMode
+}
+
+// Spec returns the instrumentation ABI as an analysis.ABISpec, the contract
+// VerifyInstrumentedProgram checks injected code against.
+func Spec() analysis.ABISpec {
+	return analysis.ABISpec{
+		StackReg:       sass.SP,
+		HandlerMaxRegs: HandlerMaxRegs,
+		ArgRegs:        []uint8{ABIArg0, ABIArg0 + 1, ABIArg1, ABIArg1 + 1},
+		SiteIDOffset:   bpID,
+		MinFrame:       bpSize,
+		FrameAlign:     16,
+	}
 }
 
 // CacheKey returns a string identifying the instrumentation these options
@@ -94,8 +114,8 @@ func (o *Options) CacheKey() (string, bool) {
 	if o.Select != nil {
 		return "", false
 	}
-	return fmt.Sprintf("where=%#x what=%#x before=%q after=%q kernels=%q",
-		o.Where, o.What, o.BeforeHandler, o.AfterHandler, o.Kernels), true
+	return fmt.Sprintf("where=%#x what=%#x before=%q after=%q kernels=%q verify=%t",
+		o.Where, o.What, o.BeforeHandler, o.AfterHandler, o.Kernels, o.Verify.Enabled()), true
 }
 
 func (o *Options) wantsKernel(name string) bool {

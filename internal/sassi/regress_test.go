@@ -1,0 +1,98 @@
+package sassi_test
+
+// Regression tests for injector bugs the static verifier originally caught,
+// plus the structured-error contract of Instrument.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sassi/internal/analysis"
+	"sassi/internal/sass"
+	"sassi/internal/sassi"
+)
+
+func instrumentOne(t *testing.T, k *sass.Kernel, opts sassi.Options) (*sass.Program, error) {
+	t.Helper()
+	prog := sass.NewProgram()
+	prog.AddKernel(k)
+	return prog, sassi.Instrument(prog, opts)
+}
+
+// The injector snapshots predicates into its scratch register before the
+// handler call. A memory operand whose BASE register is that scratch
+// register must still observe the original value — the injector has to
+// order the snapshot after any address capture (or use a different
+// scratch). This kernel puts the address in the scratch register on
+// purpose; instrumentation must verify clean.
+func TestInstrumentMemBaseInScratchRegister(t *testing.T) {
+	// R3 is the injector's predicate/CC shuttle register (abi.go).
+	const scratch = uint8(3)
+	k := &sass.Kernel{
+		Name: "base_in_scratch", NumRegs: 8, NumPreds: 2,
+		Instrs: []sass.Instruction{
+			sass.New(sass.OpMOV32, []sass.Operand{sass.R(scratch)}, []sass.Operand{sass.Imm(0x40)}),
+			sass.New(sass.OpLDG, []sass.Operand{sass.R(4)}, []sass.Operand{sass.Mem(scratch, 0)}),
+			sass.New(sass.OpEXIT, nil, nil),
+		},
+	}
+	_, err := instrumentOne(t, k, sassi.Options{
+		Where:         sassi.BeforeMem,
+		What:          sassi.PassMemoryInfo,
+		BeforeHandler: "h",
+		Verify:        analysis.VerifyOn,
+	})
+	if err != nil {
+		t.Fatalf("instrumenting a load whose base is the scratch register: %v", err)
+	}
+}
+
+// Same shape with a 64-bit extended load: the implicit high register of the
+// destination pair must be treated as written, and the base pair as read.
+func TestInstrumentWideLoadRegisterPair(t *testing.T) {
+	ld := sass.New(sass.OpLDG, []sass.Operand{sass.R(4)}, []sass.Operand{sass.Mem(2, 0)})
+	ld.Mods.E = true
+	ld.Mods.Width = sass.W64
+	k := &sass.Kernel{
+		Name: "wide_load", NumRegs: 8, NumPreds: 2,
+		Instrs: []sass.Instruction{
+			sass.New(sass.OpMOV32, []sass.Operand{sass.R(2)}, []sass.Operand{sass.Imm(0x80)}),
+			sass.New(sass.OpMOV32, []sass.Operand{sass.R(3)}, []sass.Operand{sass.Imm(0)}),
+			ld,
+			sass.New(sass.OpEXIT, nil, nil),
+		},
+	}
+	_, err := instrumentOne(t, k, sassi.Options{
+		Where:         sassi.BeforeMem,
+		What:          sassi.PassMemoryInfo,
+		BeforeHandler: "h",
+		Verify:        analysis.VerifyOn,
+	})
+	if err != nil {
+		t.Fatalf("instrumenting a 64-bit load: %v", err)
+	}
+}
+
+// Instrument reports failures as *sassi.Error so callers can extract the
+// kernel/site position instead of parsing message text.
+func TestInstrumentReturnsStructuredError(t *testing.T) {
+	k := &sass.Kernel{
+		Name: "k", NumRegs: 8, NumPreds: 2,
+		Instrs: []sass.Instruction{sass.New(sass.OpEXIT, nil, nil)},
+	}
+	_, err := instrumentOne(t, k, sassi.Options{Where: sassi.BeforeAll})
+	if err == nil {
+		t.Fatal("Instrument without a handler symbol succeeded")
+	}
+	var serr *sassi.Error
+	if !errors.As(err, &serr) {
+		t.Fatalf("error is %T, want *sassi.Error", err)
+	}
+	if serr.Site != -1 {
+		t.Errorf("option-level failure has Site %d, want -1", serr.Site)
+	}
+	if !strings.Contains(err.Error(), "sassi:") {
+		t.Errorf("message %q lacks the sassi: prefix", err)
+	}
+}
