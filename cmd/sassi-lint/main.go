@@ -4,27 +4,35 @@
 //
 // Inputs are PTX-like assembly files (compiled through ptxas first) or
 // serialized kernels written by MarshalBinary; -workloads lints every
-// built-in benchmark instead. With -instrument, each compiled program is
-// additionally instrumented with a representative configuration and the
-// instrumentation-safety checks run over the result.
+// built-in benchmark and -mutants every seed-buggy mutant instead. With
+// -instrument, each compiled program is additionally instrumented with a
+// representative configuration and the instrumentation-safety checks run
+// over the result. -checks restricts reporting to a comma-separated list
+// of check classes; -Werror makes warnings fail the run, which is how CI
+// gates the concurrency checks (warnings by design, so compiles still
+// succeed) over the built-in suite.
 //
 // Usage:
 //
 //	sassi-lint examples/ptxasm/squares.sptx
 //	sassi-lint -workloads -instrument
+//	sassi-lint -Werror -checks barrier-divergence,shared-race -workloads
 //
-// Diagnostics print one per line; the exit status is 1 if any
-// error-severity finding was reported, 2 on usage or input errors.
+// Diagnostics print one per line in a deterministic order; the exit
+// status is 1 if any error-severity finding was reported (or any finding
+// at all under -Werror), 2 on usage or input errors.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"sassi/internal/analysis"
+	_ "sassi/internal/analysis/concurrency" // register barrier-divergence and shared-race
 	"sassi/internal/ptx"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
@@ -33,61 +41,110 @@ import (
 )
 
 func main() {
-	lintWorkloads := flag.Bool("workloads", false, "lint every built-in workload")
-	instrument := flag.Bool("instrument", false, "also instrument each program and check the result")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if !*lintWorkloads && flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sassi-lint [-instrument] [-workloads] [file.sptx|file.sasskrn ...]")
-		os.Exit(2)
+// run is the testable entry point: parses args, lints, prints, and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sassi-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	lintWorkloads := fs.Bool("workloads", false, "lint every built-in workload")
+	lintMutants := fs.Bool("mutants", false, "lint every seed-buggy mutant workload")
+	instrument := fs.Bool("instrument", false, "also instrument each program and check the result")
+	werror := fs.Bool("Werror", false, "treat warnings as errors for the exit status")
+	checks := fs.String("checks", "", "comma-separated check classes to report (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	l := &linter{instrument: *instrument}
+	if !*lintWorkloads && !*lintMutants && fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: sassi-lint [-Werror] [-checks list] [-instrument] [-workloads] [-mutants] [file.sptx|file.sasskrn ...]")
+		return 2
+	}
+
+	l := &linter{instrument: *instrument, stdout: stdout, stderr: stderr}
+	if *checks != "" {
+		l.filter = map[string]bool{}
+		for _, c := range strings.Split(*checks, ",") {
+			l.filter[strings.TrimSpace(c)] = true
+		}
+	}
 	if *lintWorkloads {
 		for _, name := range workloads.Names() {
 			spec, _ := workloads.Get(name)
-			prog, err := spec.Compile(ptxas.Options{Verify: analysis.VerifyOff})
-			if err != nil {
-				l.fail("workload %s: %v", name, err)
-				continue
-			}
-			l.lintProgram("workload:"+name, prog)
+			l.lintSpec("workload:"+name, spec)
 		}
 	}
-	for _, path := range flag.Args() {
+	if *lintMutants {
+		for _, name := range workloads.MutantNames() {
+			spec, _ := workloads.GetMutant(name)
+			l.lintSpec("mutant:"+name, spec)
+		}
+	}
+	for _, path := range fs.Args() {
 		l.lintFile(path)
 	}
 
 	if l.errors > 0 {
-		fmt.Fprintf(os.Stderr, "sassi-lint: %d error(s), %d warning(s)\n", l.errors, l.warnings)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "sassi-lint: %d error(s), %d warning(s)\n", l.errors, l.warnings)
+		return 1
 	}
 	if l.warnings > 0 {
-		fmt.Fprintf(os.Stderr, "sassi-lint: %d warning(s)\n", l.warnings)
+		fmt.Fprintf(stderr, "sassi-lint: %d warning(s)\n", l.warnings)
+		if *werror {
+			fmt.Fprintln(stderr, "sassi-lint: warnings treated as errors (-Werror)")
+			return 1
+		}
 	}
+	return 0
 }
 
 type linter struct {
 	instrument bool
+	filter     map[string]bool // nil: report every check class
+	stdout     io.Writer
+	stderr     io.Writer
 	errors     int
 	warnings   int
 }
 
 func (l *linter) fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "sassi-lint: "+format+"\n", args...)
+	fmt.Fprintf(l.stderr, "sassi-lint: "+format+"\n", args...)
 	l.errors++
 }
 
 func (l *linter) report(file string, diags []analysis.Diagnostic) {
+	if l.filter != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			if l.filter[d.Check] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+	// Verify sorts per program, but instrument results arrive separately:
+	// re-sort so each batch prints deterministically.
+	analysis.SortDiagnostics(diags)
 	for _, d := range diags {
 		d.File = file
-		fmt.Println(d)
+		fmt.Fprintln(l.stdout, d)
 		if d.Sev == analysis.Error {
 			l.errors++
 		} else {
 			l.warnings++
 		}
 	}
+}
+
+func (l *linter) lintSpec(label string, spec *workloads.Spec) {
+	prog, err := spec.Compile(ptxas.Options{Verify: analysis.VerifyOff})
+	if err != nil {
+		l.fail("%s: %v", label, err)
+		return
+	}
+	l.lintProgram(label, prog)
 }
 
 func (l *linter) lintFile(path string) {

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestLintMutantsGolden pins the lint output over the seed-buggy mutants:
+// the concurrency checks must flag every mutant, in a deterministic order,
+// with the exact rendered diagnostics the golden file records.
+func TestLintMutantsGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "barrier-divergence,shared-race", "-mutants"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d (races are warnings; stderr: %s)", code, errb.String())
+	}
+	if out.Len() == 0 {
+		t.Fatal("no diagnostics printed for the seed-buggy mutants")
+	}
+
+	golden := filepath.Join("testdata", "mutants.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./cmd/sassi-lint` to create it)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("lint output changed.\n--- got ---\n%s--- want ---\n%s", out.Bytes(), want)
+	}
+}
+
+// TestLintWerror: -Werror turns the mutants' race warnings into a failing
+// exit status, and the clean built-in suite stays green under the same
+// gate — the exact command CI runs.
+func TestLintWerror(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-Werror", "-checks", "shared-race", "-mutants"}, &out, &errb); code != 1 {
+		t.Errorf("-Werror over mutants: exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-Werror", "-checks", "barrier-divergence,shared-race", "-workloads"}, &out, &errb); code != 0 {
+		t.Errorf("-Werror over built-ins: exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+// TestLintUsage: no inputs is a usage error.
+func TestLintUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no-arg run: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sassi/internal/workloads"
+)
+
+// TestRacecheckMutants: every seed-buggy mutant must be rejected with both
+// a static prediction and a dynamic confirmation in the output.
+func TestRacecheckMutants(t *testing.T) {
+	for _, name := range workloads.MutantNames() {
+		t.Run(name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run([]string{name}, &out, &errb); code != 1 {
+				t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+			}
+			if !strings.Contains(out.String(), "static: ") {
+				t.Errorf("no static report:\n%s", out.String())
+			}
+			if !strings.Contains(out.String(), "dynamic: ") {
+				t.Errorf("no dynamic report:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestRacecheckCleanWorkload: a properly-barriered built-in passes both
+// phases silently.
+func TestRacecheckCleanWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dataset", "small", "parboil.sgemm"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestRacecheckUsage: unknown workloads and missing arguments are usage
+// errors, and -list names every mutant.
+func TestRacecheckUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"no.such.workload"}, &out, &errb); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+	for _, name := range workloads.MutantNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

@@ -59,6 +59,10 @@ const (
 	CheckDefAssign   = "def-assign"
 	CheckRoundTrip   = "round-trip"
 	CheckInstrSafety = "instr-safety"
+	// CheckBarrier and CheckSharedRace are registered by
+	// internal/analysis/concurrency (import it for the side effect).
+	CheckBarrier    = "barrier-divergence"
+	CheckSharedRace = "shared-race"
 )
 
 // Diagnostic is one verifier finding, positioned at a kernel and (usually)
@@ -90,8 +94,9 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// SortDiagnostics orders findings by kernel, instruction, severity
-// (errors first), then message, for stable output.
+// SortDiagnostics orders findings by kernel, instruction (PC), check
+// name, severity (errors first), then message, for stable, deterministic
+// output regardless of the order checks ran in.
 func SortDiagnostics(diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -100,6 +105,9 @@ func SortDiagnostics(diags []Diagnostic) {
 		}
 		if a.Instr != b.Instr {
 			return a.Instr < b.Instr
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
 		}
 		if a.Sev != b.Sev {
 			return a.Sev > b.Sev
@@ -179,6 +187,44 @@ func (m VerifyMode) String() string {
 	}
 }
 
+// KernelCheckFunc is a registered kernel-level check. It runs after the
+// built-in checks, only when the structural pass found no errors and the
+// CFG built, so implementations may assume resolved labels and in-range
+// operands.
+type KernelCheckFunc func(cfg *sass.CFG) []Diagnostic
+
+// kernelChecks is the registry of extra checks VerifyKernel runs, in
+// registration order. Packages contribute via RegisterKernelCheck from
+// init (e.g. internal/analysis/concurrency); consumers opt in by
+// importing the contributing package.
+var kernelChecks []struct {
+	name string
+	fn   KernelCheckFunc
+}
+
+// RegisterKernelCheck adds a named check to the Verify pipeline. It is
+// meant to be called from init; registering the same name twice panics.
+func RegisterKernelCheck(name string, fn KernelCheckFunc) {
+	for _, c := range kernelChecks {
+		if c.name == name {
+			panic("analysis: duplicate kernel check " + name)
+		}
+	}
+	kernelChecks = append(kernelChecks, struct {
+		name string
+		fn   KernelCheckFunc
+	}{name, fn})
+}
+
+// RegisteredChecks lists the names of registered kernel checks.
+func RegisteredChecks() []string {
+	out := make([]string, len(kernelChecks))
+	for i, c := range kernelChecks {
+		out[i] = c.name
+	}
+	return out
+}
+
 // Verify runs every kernel-level check over the program plus the
 // program-level link check (JCAL symbols resolved in the handler table),
 // returning all findings sorted.
@@ -204,6 +250,9 @@ func VerifyKernel(k *sass.Kernel) []Diagnostic {
 	diags = append(diags, CheckRoundTripEncoding(k)...)
 	if cfg, err := sass.BuildCFG(k); err == nil {
 		diags = append(diags, CheckDefiniteAssignment(cfg)...)
+		for _, c := range kernelChecks {
+			diags = append(diags, c.fn(cfg)...)
+		}
 	} else {
 		diags = append(diags, Diagnostic{
 			Sev: Error, Check: CheckStructural, Kernel: k.Name, Instr: -1,

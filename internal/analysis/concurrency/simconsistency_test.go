@@ -1,0 +1,127 @@
+package concurrency
+
+import (
+	"testing"
+
+	"sassi/internal/analysis"
+	"sassi/internal/sass"
+	"sassi/internal/sim"
+)
+
+// TestBarrierPassAgreesWithSimulator is the consistency regression test
+// between the static barrier-alignment pass and the simulator's dynamic
+// rule (internal/sim/exec.go: "divergent BAR.SYNC would deadlock"): for
+// every kernel in the table, the pass reports an error if and only if a
+// 1-CTA/32-thread launch faults.
+//
+// Built-in workloads are the other half of the contract: they run
+// deadlock-free in the simulator throughout the workload test suite, and
+// TestBuiltinWorkloadsClean asserts the static passes stay silent on
+// every one of them.
+func TestBarrierPassAgreesWithSimulator(t *testing.T) {
+	cases := []struct {
+		name         string
+		wantDeadlock bool
+		build        func(t *testing.T) *sass.Kernel
+	}{
+		{"guarded-bar-tid", true, func(t *testing.T) *sass.Kernel {
+			return testKernel(t, [3]int{32, 1, 1}, nil,
+				tidx(0),
+				setp(0, sass.R(0), sass.Imm(16)),
+				guarded(bar(), 0, false),
+				exit(),
+			)
+		}},
+		{"bar-inside-divergent-arm", true, func(t *testing.T) *sass.Kernel {
+			return testKernel(t, [3]int{32, 1, 1}, map[string]int{"else": 6, "join": 9},
+				tidx(0),
+				setp(0, sass.R(0), sass.Imm(16)),
+				ssy("join"),
+				guarded(bra("else"), 0, true),
+				nop(),
+				sync(),
+				bar(),
+				nop(),
+				sync(),
+				exit(),
+			)
+		}},
+		{"bar-after-reconvergence", false, func(t *testing.T) *sass.Kernel {
+			return testKernel(t, [3]int{32, 1, 1}, map[string]int{"else": 6, "join": 9},
+				tidx(0),
+				setp(0, sass.R(0), sass.Imm(16)),
+				ssy("join"),
+				guarded(bra("else"), 0, true),
+				nop(),
+				sync(),
+				nop(),
+				nop(),
+				sync(),
+				bar(),
+				exit(),
+			)
+		}},
+		{"bar-under-uniform-branch", false, func(t *testing.T) *sass.Kernel {
+			return testKernel(t, [3]int{32, 1, 1}, map[string]int{"else": 6, "join": 8},
+				ctaidx(0),
+				setp(0, sass.R(0), sass.Imm(1)),
+				ssy("join"),
+				guarded(bra("else"), 0, true),
+				bar(),
+				sync(),
+				bar(),
+				sync(),
+				exit(),
+			)
+		}},
+		{"bar-after-divergent-loop", false, func(t *testing.T) *sass.Kernel {
+			return testKernel(t, [3]int{32, 1, 1}, map[string]int{"head": 3, "reconv": 7},
+				tidx(0),
+				sass.New(sass.OpMOV32, []sass.Operand{sass.R(1)}, []sass.Operand{sass.Imm(0)}),
+				ssy("reconv"),
+				setp(0, sass.R(1), sass.R(0)),
+				sass.New(sass.OpIADD, []sass.Operand{sass.R(1)}, []sass.Operand{sass.R(1), sass.Imm(1)}),
+				guarded(bra("head"), 0, false),
+				sync(),
+				bar(),
+				exit(),
+			)
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := tc.build(t)
+
+			var static []analysis.Diagnostic
+			for _, d := range checkKernel(t, k) {
+				if d.Check == analysis.CheckBarrier && d.Sev == analysis.Error {
+					static = append(static, d)
+				}
+			}
+
+			prog := sass.NewProgram()
+			prog.AddKernel(k)
+			dev := sim.NewDevice(sim.MiniGPU())
+			_, err := dev.Launch(prog, k.Name, sim.LaunchParams{
+				Grid: sim.D1(1), Block: sim.D1(32),
+			})
+
+			if tc.wantDeadlock {
+				if err == nil {
+					t.Error("simulator accepted a kernel expected to deadlock")
+				}
+				if len(static) == 0 {
+					t.Error("static pass silent on a kernel the simulator rejects")
+				}
+			} else {
+				if err != nil {
+					t.Errorf("simulator rejected a clean kernel: %v", err)
+				}
+				if len(static) != 0 {
+					t.Errorf("static errors on a kernel the simulator accepts: %v", static)
+				}
+			}
+		})
+	}
+}

@@ -269,6 +269,37 @@ func Dominators(cfg *sass.CFG) []Bits {
 // result.
 func Dominates(dom []Bits, a, b int) bool { return dom[b].Has(a) }
 
+// PostDominators computes, for every block, the set of blocks that
+// post-dominate it (including itself): b post-dominates a if every path
+// from a to kernel exit passes through b. Kernels can have several exit
+// blocks (EXIT, RET), so the analysis runs against a virtual exit that
+// every no-successor block reaches; the virtual node itself is not
+// represented in the result. Blocks that cannot reach any exit (infinite
+// loops) report the full set (vacuous post-domination).
+func PostDominators(cfg *sass.CFG) []Bits {
+	nb := len(cfg.Blocks)
+	gen := make([]Bits, nb)
+	for b := 0; b < nb; b++ {
+		gen[b] = NewBits(nb)
+		gen[b].Set(b)
+	}
+	// Backward + Intersect: Solve seeds every no-successor block's OUT from
+	// the boundary, which is exactly the virtual-exit edge — an empty
+	// boundary says nothing post-dominates the exit except the exit blocks
+	// themselves (their Gen).
+	in, _ := Solve(cfg, Problem{
+		Dir:  Backward,
+		Meet: Intersect,
+		Bits: nb,
+		Gen:  gen,
+	})
+	return in
+}
+
+// PostDominates reports whether block a post-dominates block b given
+// PostDominators' result.
+func PostDominates(pdom []Bits, a, b int) bool { return pdom[b].Has(a) }
+
 // The register space used by the dataflow problems: GPRs R0..R254 at
 // [0,255), predicates P0..P6 at [predBase, predBase+7), and the condition
 // code at ccIndex. RZ and PT are hardwired and never appear.

@@ -233,3 +233,97 @@ func TestMaybeUninitReadsMergeFlag(t *testing.T) {
 		t.Errorf("uninitialized R6 read not reported: %v", reads)
 	}
 }
+
+func TestPostDominatorsDiamond(t *testing.T) {
+	k := diamondKernel(t)
+	cfg, err := sass.BuildCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdom := PostDominators(cfg)
+
+	entry := cfg.BlockOf(0).ID
+	thenB := cfg.BlockOf(2).ID
+	elseB := cfg.BlockOf(4).ID
+	join := cfg.BlockOf(5).ID
+
+	for _, b := range cfg.Blocks {
+		if !PostDominates(pdom, join, b.ID) {
+			t.Errorf("join does not post-dominate block %d", b.ID)
+		}
+		if !PostDominates(pdom, b.ID, b.ID) {
+			t.Errorf("block %d does not post-dominate itself", b.ID)
+		}
+	}
+	if PostDominates(pdom, thenB, entry) {
+		t.Error("then-arm must not post-dominate the entry")
+	}
+	if PostDominates(pdom, elseB, entry) {
+		t.Error("else-arm must not post-dominate the entry")
+	}
+	if PostDominates(pdom, thenB, elseB) || PostDominates(pdom, elseB, thenB) {
+		t.Error("sibling arms must not post-dominate each other")
+	}
+	if PostDominates(pdom, entry, join) {
+		t.Error("entry must not post-dominate the join block")
+	}
+}
+
+// TestPostDominatorsMultiExit checks the virtual-exit handling: with two
+// EXIT blocks, neither exit post-dominates the branch above them, and the
+// branch block post-dominates only itself and the entry path.
+//
+//	0: ISETP P0, R2, 0
+//	1: @!P0 BRA alt
+//	2: EXIT           (exit A)
+//	3: alt: EXIT      (exit B)
+func TestPostDominatorsMultiExit(t *testing.T) {
+	k := testKernel(t, map[string]int{"alt": 3},
+		sass.New(sass.OpISETP, []sass.Operand{sass.P(0)}, []sass.Operand{sass.R(2), sass.Imm(0), sass.P(sass.PT)}),
+		sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("alt")}).WithGuard(sass.PredGuard{Reg: 0, Neg: true}),
+		sass.New(sass.OpEXIT, nil, nil),
+		sass.New(sass.OpEXIT, nil, nil),
+	)
+	cfg, err := sass.BuildCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdom := PostDominators(cfg)
+	entry := cfg.BlockOf(0).ID
+	exitA := cfg.BlockOf(2).ID
+	exitB := cfg.BlockOf(3).ID
+	if PostDominates(pdom, exitA, entry) || PostDominates(pdom, exitB, entry) {
+		t.Error("no single exit may post-dominate the branch block")
+	}
+	if !PostDominates(pdom, entry, entry) {
+		t.Error("entry must post-dominate itself")
+	}
+	if got := pdom[exitA].Members(); len(got) != 1 || got[0] != exitA {
+		t.Errorf("exit A post-dominators = %v, want only itself", got)
+	}
+}
+
+// TestPostDominatorsLinear: in a straight-line kernel every later block
+// post-dominates every earlier one.
+func TestPostDominatorsLinear(t *testing.T) {
+	k := testKernel(t, map[string]int{"mid": 2},
+		sass.New(sass.OpMOV32, []sass.Operand{sass.R(2)}, []sass.Operand{sass.Imm(1)}),
+		sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("mid")}),
+		sass.New(sass.OpIADD, []sass.Operand{sass.R(3)}, []sass.Operand{sass.R(2), sass.Imm(1)}),
+		sass.New(sass.OpEXIT, nil, nil),
+	)
+	cfg, err := sass.BuildCFG(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdom := PostDominators(cfg)
+	for _, a := range cfg.Blocks {
+		for _, b := range cfg.Blocks {
+			if a.Start >= b.Start {
+				if !PostDominates(pdom, a.ID, b.ID) {
+					t.Errorf("block %d should post-dominate block %d", a.ID, b.ID)
+				}
+			}
+		}
+	}
+}

@@ -33,6 +33,31 @@ func fuzzSeedKernel(t testing.TB) *sass.Kernel {
 	return k
 }
 
+// fuzzBarrierKernel seeds the fuzzer with the synchronization and
+// shared-memory shapes the divergence and concurrency passes care about:
+// a tid-indexed STS, a BAR inside a guarded region, and an LDS after
+// reconvergence.
+func fuzzBarrierKernel(t testing.TB) *sass.Kernel {
+	k := &sass.Kernel{
+		Name: "fuzzbar", NumRegs: 8, NumPreds: 2, SharedBytes: 1024,
+		Labels: map[string]int{"join": 6},
+		Instrs: []sass.Instruction{
+			sass.New(sass.OpS2R, []sass.Operand{sass.R(2)}, []sass.Operand{sass.SReg(sass.SRTidX)}),
+			sass.New(sass.OpSHL, []sass.Operand{sass.R(3)}, []sass.Operand{sass.R(2), sass.Imm(2)}),
+			sass.New(sass.OpSTS, nil, []sass.Operand{sass.Mem(3, 0), sass.R(2)}),
+			sass.New(sass.OpISETP, []sass.Operand{sass.P(0)}, []sass.Operand{sass.R(2), sass.Imm(4), sass.P(sass.PT)}),
+			sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("join")}).WithGuard(sass.PredGuard{Reg: 0, Neg: true}),
+			sass.New(sass.OpBAR, nil, nil),
+			sass.New(sass.OpLDS, []sass.Operand{sass.R(4)}, []sass.Operand{sass.Mem(3, 4)}),
+			sass.New(sass.OpEXIT, nil, nil),
+		},
+	}
+	if err := k.ResolveLabels(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 // FuzzVerify feeds mutated kernel encodings through the decoder and the
 // full verifier: whatever bytes arrive, the pipeline must diagnose, never
 // panic. This is the robustness contract sassi-lint relies on for
@@ -43,6 +68,11 @@ func FuzzVerify(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(seed)
+	barSeed, err := fuzzBarrierKernel(f).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(barSeed)
 	// Hand-corrupted variants steer the fuzzer at interesting boundaries.
 	truncated := append([]byte(nil), seed[:len(seed)/2]...)
 	f.Add(truncated)

@@ -1,0 +1,112 @@
+package handlers_test
+
+import (
+	"testing"
+
+	"sassi/internal/analysis"
+	"sassi/internal/analysis/concurrency"
+	"sassi/internal/cuda"
+	"sassi/internal/handlers"
+	"sassi/internal/ptxas"
+	"sassi/internal/sass"
+	"sassi/internal/sassi"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// raceCheck compiles and runs a spec under the RaceChecker handler and
+// returns the statically-predicted race pairs alongside the dynamically
+// observed ones. Mutant runs are allowed to produce wrong output (they
+// are seeded data races); launch failures are not.
+func raceCheck(t *testing.T, spec *workloads.Spec, dataset string) (static [][2]int, dynamic []handlers.RacePair) {
+	t.Helper()
+	prog, err := spec.Compile(ptxas.Options{Verify: analysis.VerifyOff})
+	if err != nil {
+		t.Fatalf("%s: compile: %v", spec.Name, err)
+	}
+	for _, k := range prog.Kernels {
+		cfg, err := sass.BuildCFG(k)
+		if err != nil {
+			t.Fatalf("%s/%s: cfg: %v", spec.Name, k.Name, err)
+		}
+		static = append(static, concurrency.SharedRacePairs(cfg, analysis.AnalyzeValues(cfg))...)
+	}
+
+	cfg := sim.MiniGPU()
+	cfg.SequentialSMs = true
+	ctx := cuda.NewContext(cfg)
+	checker := handlers.NewRaceChecker()
+	if err := sassi.Instrument(prog, checker.Options()); err != nil {
+		t.Fatalf("%s: instrument: %v", spec.Name, err)
+	}
+	rt := sassi.NewRuntime(prog)
+	rt.MustRegister(checker.Handler())
+	rt.Attach(ctx.Device())
+	if _, err := spec.Run(ctx, prog, dataset); err != nil {
+		t.Fatalf("%s: run: %v", spec.Name, err)
+	}
+	return static, checker.Races()
+}
+
+// TestRaceCheckerConfirmsStaticReports cross-validates the static race
+// pass against the dynamic handler on every seed-buggy mutant: each
+// statically-reported pair must be observed dynamically — as the exact
+// site pair, or (when the static address went unknown, e.g. sgemm's
+// loop-indexed tile reads, which pair one write conservatively with
+// both tiles' reads) with each of its sites racing dynamically.
+func TestRaceCheckerConfirmsStaticReports(t *testing.T) {
+	for _, name := range workloads.MutantNames() {
+		t.Run(name, func(t *testing.T) {
+			spec, _ := workloads.GetMutant(name)
+			static, dynamic := raceCheck(t, spec, spec.DefaultDataset())
+			if len(static) == 0 {
+				t.Fatal("static pass silent on a seeded race")
+			}
+			if len(dynamic) == 0 {
+				t.Fatal("dynamic handler observed no race on a seeded race")
+			}
+			exact := map[handlers.RacePair]bool{}
+			sites := map[int]bool{}
+			for _, p := range dynamic {
+				exact[p] = true
+				sites[p.A], sites[p.B] = true, true
+			}
+			for _, p := range static {
+				a, b := p[0], p[1]
+				if a > b {
+					a, b = b, a
+				}
+				if exact[handlers.RacePair{A: a, B: b}] {
+					continue
+				}
+				if !sites[a] || !sites[b] {
+					t.Errorf("static race (%d,%d) never observed dynamically (dynamic: %v)", a, b, dynamic)
+				}
+			}
+		})
+	}
+}
+
+// TestRaceCheckerSilentOnCleanWorkloads: properly-barriered built-ins
+// produce neither static reports nor dynamic observations — the barrier
+// phase counters order every cross-thread access pair.
+func TestRaceCheckerSilentOnCleanWorkloads(t *testing.T) {
+	for _, tc := range []struct{ workload, dataset string }{
+		{"parboil.sgemm", "small"},
+		{"parboil.tpacf", "small"},
+	} {
+		t.Run(tc.workload, func(t *testing.T) {
+			spec, ok := workloads.Get(tc.workload)
+			if !ok {
+				t.Fatalf("workload %s not registered", tc.workload)
+			}
+			static, dynamic := raceCheck(t, spec, tc.dataset)
+			if len(static) != 0 {
+				t.Errorf("static false positives: %v", static)
+			}
+			if len(dynamic) != 0 {
+				t.Errorf("dynamic false positives: %v", dynamic)
+			}
+		})
+	}
+}

@@ -23,6 +23,13 @@ func NewKernel(name string) *Builder {
 	return &Builder{F: NewFunc(name)}
 }
 
+// ReqBlock declares the CTA shape the kernel is written for (cf. PTX
+// .reqntid), giving static analyses exact tid bounds. Advisory: launches
+// are not checked against it.
+func (b *Builder) ReqBlock(x, y, z int) {
+	b.F.ReqBlock = [3]int{x, y, z}
+}
+
 func (b *Builder) label(prefix string) string {
 	b.labelN++
 	return fmt.Sprintf(".%s_%d", prefix, b.labelN)

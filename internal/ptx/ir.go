@@ -207,6 +207,12 @@ type Func struct {
 	Instrs      []Instr
 	SharedBytes int
 
+	// ReqBlock is an optional launch-shape declaration (cf. PTX
+	// .reqntid): the CTA dimensions the kernel is written for. Zero
+	// means unspecified. ptxas forwards it to sass.Kernel.BlockDim for
+	// analyses that need tid bounds.
+	ReqBlock [3]int
+
 	nextID int32
 	types  map[int32]Type
 }

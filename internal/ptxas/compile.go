@@ -74,7 +74,7 @@ func CompileFunc(f *ptx.Func, opts Options) (*sass.Kernel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ptxas: %s: %w", f.Name, err)
 	}
-	k := &sass.Kernel{Name: f.Name, SharedBytes: f.SharedBytes}
+	k := &sass.Kernel{Name: f.Name, SharedBytes: f.SharedBytes, BlockDim: f.ReqBlock}
 	for _, p := range f.Params {
 		k.AddParam(p.Name, p.Size)
 	}

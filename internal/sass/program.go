@@ -49,6 +49,13 @@ type Kernel struct {
 	LocalBytes int
 	// Params describes the kernel parameter layout in constant bank 0.
 	Params []ParamDesc
+
+	// BlockDim is an optional launch-shape hint (the CTA dimensions the
+	// kernel is written for, à la __launch_bounds__), consumed by static
+	// analyses that bound tid ranges. Zero means unknown. It is advisory
+	// compile-time metadata and is deliberately NOT serialized by
+	// MarshalBinary: a .sasskrn file carries only the machine code.
+	BlockDim [3]int
 }
 
 // Clone returns a deep copy of the kernel sharing no mutable state, so the

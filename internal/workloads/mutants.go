@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"sassi/internal/cuda"
+	"sassi/internal/ptx"
+	"sassi/internal/sass"
+	"sassi/internal/sim"
+)
+
+// Seed-buggy mutants: deliberately broken variants of workload kernels
+// used to validate the concurrency checker (internal/analysis/concurrency
+// statically, internal/handlers.RaceChecker dynamically). They live in a
+// registry separate from the benchmark suite so Names()/All() — and
+// everything iterating the suite, like CI's lint gate over built-ins —
+// never picks them up.
+var mutantRegistry = map[string]*Spec{}
+
+func registerMutant(s *Spec) {
+	if _, dup := mutantRegistry[s.Name]; dup {
+		panic("workloads: duplicate mutant " + s.Name)
+	}
+	mutantRegistry[s.Name] = s
+}
+
+// GetMutant returns the named seed-buggy mutant.
+func GetMutant(name string) (*Spec, bool) {
+	s, ok := mutantRegistry[name]
+	return s, ok
+}
+
+// MutantNames lists registered mutants, sorted.
+func MutantNames() []string {
+	out := make([]string, 0, len(mutantRegistry))
+	for n := range mutantRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	registerMutant(sgemmVariant("mutant.sgemm-nobar", false))
+	registerMutant(stencilHaloMutant())
+	registerMutant(bfsFrontierMutant())
+}
+
+// stencilHaloMutant is a 1-D three-point stencil whose barrier between
+// staging the input into shared memory and reading the neighbour's slot
+// is missing: thread t reads slot t+1 before its owner is guaranteed to
+// have written it (the classic halo race).
+func stencilHaloMutant() *Spec {
+	const n = 64
+	return &Spec{
+		Name:      "mutant.stencil-halo",
+		OutputTol: 1e-5,
+		Datasets:  []string{"small"},
+		Build: func() (*ptx.Module, error) {
+			b := ptx.NewKernel("stencil")
+			b.ReqBlock(n, 1, 1)
+			pin := b.ParamU64("in")
+			pout := b.ParamU64("out")
+			off := b.F.AllocShared(n * 4)
+
+			t := b.TidX()
+			myAddr := b.AddI(b.ShlI(t, 2), int64(off))
+			b.StSharedF32(myAddr, 0, b.LdGlobalF32(b.Index(pin, t, 2), 0))
+			// BUG: b.Bar() belongs here — the halo read below crosses warps.
+			right := b.Min(b.AddI(t, 1), b.ImmU32(n-1))
+			sum := b.Add(
+				b.LdSharedF32(myAddr, 0),
+				b.LdSharedF32(b.AddI(b.ShlI(right, 2), int64(off)), 0))
+			b.StGlobalF32(b.Index(pout, t, 2), 0, sum)
+			f, err := b.Done()
+			if err != nil {
+				return nil, err
+			}
+			m := ptx.NewModule()
+			m.Add(f)
+			return m, nil
+		},
+		Run: func(ctx *cuda.Context, prog *sass.Program, dataset string) (*Result, error) {
+			r := newRNG(23)
+			in := r.f32s(n, -1, 1)
+			din := ctx.AllocF32("in", in)
+			dout := ctx.Malloc(4*n, "out")
+			if _, err := ctx.LaunchKernel(prog, "stencil", sim.LaunchParams{
+				Grid: sim.D1(1), Block: sim.D1(n),
+				Args: []uint64{uint64(din), uint64(dout)},
+			}); err != nil {
+				return nil, err
+			}
+			got, err := ctx.ReadF32(dout, n)
+			if err != nil {
+				return nil, err
+			}
+			want := make([]float32, n)
+			for i := 0; i < n; i++ {
+				j := i + 1
+				if j > n-1 {
+					j = n - 1
+				}
+				want[i] = in[i] + in[j]
+			}
+			res := &Result{Output: f32Bytes(got)}
+			res.VerifyErr = compareF32(got, want, 1e-5, "stencil")
+			res.Stdout = fmt.Sprintf("stencil n=%d %s\n", n, f32Summary(res.Output))
+			return res, nil
+		},
+	}
+}
+
+// bfsFrontierMutant models a BFS frontier push whose shared next-frontier
+// counter is bumped with a plain load/add/store instead of an atomic:
+// concurrent increments in the same barrier interval lose updates.
+func bfsFrontierMutant() *Spec {
+	const n = 64
+	return &Spec{
+		Name:     "mutant.bfs-frontier",
+		Datasets: []string{"small"},
+		Build: func() (*ptx.Module, error) {
+			b := ptx.NewKernel("bfs_frontier")
+			b.ReqBlock(n, 1, 1)
+			pin := b.ParamU64("active")
+			pout := b.ParamU64("count")
+			cnt := b.F.AllocShared(4)
+
+			t := b.TidX()
+			cntAddr := b.Var(b.ImmU32(0))
+			b.If(b.SetpI(sass.CmpEQ, t, 0), func() {
+				b.StSharedU32(cntAddr, int64(cnt), b.ImmU32(0))
+			})
+			b.Bar()
+			active := b.SetpI(sass.CmpNE, b.LdGlobalU32(b.Index(pin, t, 2), 0), 0)
+			b.If(active, func() {
+				// BUG: should be b.AtomAddShared(cntAddr, int64(cnt), ...).
+				v := b.LdSharedU32(cntAddr, int64(cnt))
+				b.StSharedU32(cntAddr, int64(cnt), b.AddI(v, 1))
+			})
+			b.Bar()
+			b.If(b.SetpI(sass.CmpEQ, t, 0), func() {
+				b.StGlobalU32(pout, 0, b.LdSharedU32(cntAddr, int64(cnt)))
+			})
+			f, err := b.Done()
+			if err != nil {
+				return nil, err
+			}
+			m := ptx.NewModule()
+			m.Add(f)
+			return m, nil
+		},
+		Run: func(ctx *cuda.Context, prog *sass.Program, dataset string) (*Result, error) {
+			active := make([]uint32, n)
+			want := uint32(0)
+			for i := range active {
+				if i%3 != 0 {
+					active[i] = 1
+					want++
+				}
+			}
+			din := ctx.AllocU32("active", active)
+			dout := ctx.Malloc(4, "count")
+			if _, err := ctx.LaunchKernel(prog, "bfs_frontier", sim.LaunchParams{
+				Grid: sim.D1(1), Block: sim.D1(n),
+				Args: []uint64{uint64(din), uint64(dout)},
+			}); err != nil {
+				return nil, err
+			}
+			got, err := ctx.ReadU32(dout, 1)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Output: u32Bytes(got)}
+			res.VerifyErr = compareU32(got, []uint32{want}, "bfs frontier count")
+			res.Stdout = fmt.Sprintf("bfs frontier=%d\n", got[0])
+			return res, nil
+		},
+	}
+}

@@ -16,13 +16,19 @@ const sgemmTile = 16
 // sgemmSpec is Parboil sgemm: C = A*B with 16x16 shared-memory tiling.
 // Fully convergent control flow (its only branches are uniform tile loops),
 // matching the paper's Table 1 row of zero divergent branches.
-func sgemmSpec() *Spec {
+func sgemmSpec() *Spec { return sgemmVariant("parboil.sgemm", true) }
+
+// sgemmVariant parameterizes the barrier that separates the inner
+// dot-product reads from the next iteration's tile writes; dropping it
+// produces the seeded race mutant (mutant.sgemm-nobar).
+func sgemmVariant(name string, tailBar bool) *Spec {
 	return &Spec{
-		Name:      "parboil.sgemm",
+		Name:      name,
 		OutputTol: 1e-3,
 		Datasets:  []string{"small", "medium"},
 		Build: func() (*ptx.Module, error) {
 			b := ptx.NewKernel("sgemm")
+			b.ReqBlock(sgemmTile, sgemmTile, 1)
 			pa := b.ParamU64("A")
 			pb := b.ParamU64("B")
 			pc := b.ParamU64("C")
@@ -65,7 +71,9 @@ func sgemmSpec() *Spec {
 					b.Assign(acc, b.Fma(av, bv, acc))
 					b.Assign(kk, b.AddI(kk, 1))
 				})
-				b.Bar()
+				if tailBar {
+					b.Bar()
+				}
 			})
 			cIdx := b.Mad(row, dimN, col)
 			b.StGlobalF32(b.Index(pc, cIdx, 2), 0, acc)

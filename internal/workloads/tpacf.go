@@ -24,6 +24,7 @@ func tpacfSpec() *Spec {
 		Datasets: []string{"small"},
 		Build: func() (*ptx.Module, error) {
 			b := ptx.NewKernel("tpacf")
+			b.ReqBlock(128, 1, 1)
 			data := b.ParamU64("data") // 3 floats per point (unit vectors)
 			hist := b.ParamU64("hist") // tpacfBins uint32 bins
 			binB := b.ParamU64("bounds")
