@@ -18,17 +18,20 @@ import (
 	"time"
 
 	"sassi/internal/experiments"
+	"sassi/internal/obs"
+	"sassi/internal/obscli"
 	"sassi/internal/sim"
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,table3")
+	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,table3,overhead")
 	gpu := flag.String("gpu", "k10", "device model: k10, k20, k40, mini")
 	injections := flag.Int("injections", 100, "fault injections per app for fig10 (paper: 1000)")
 	seed := flag.Uint64("seed", 2015, "campaign seed for fig10")
 	faithful := flag.Bool("faithful-handlers", false, "use the collective (goroutine-per-lane) handlers instead of the fast sequential ones")
 	apps := flag.String("apps", "", "comma list restricting table2/table3/fig10 to specific workloads")
 	workers := flag.Int("workers", 0, "concurrent fig10 injection runs (0 = GOMAXPROCS); results are identical at any value")
+	obsFlags := obscli.Register()
 	flag.Parse()
 
 	var cfg sim.Config
@@ -49,6 +52,16 @@ func main() {
 	env.Config = cfg
 	env.Fast = !*faithful
 	env.Workers = *workers
+	var reg *obs.Registry
+	reg, tr := obsFlags.Setup(func() *obs.Stats {
+		s := obs.NewStats(reg)
+		s.GPU = *gpu
+		return s
+	})
+	env.Cache.Metrics = reg
+	env.Cache.Trace = tr
+	env.Metrics = reg
+	env.Trace = tr
 
 	var appList []string
 	if *apps != "" {
@@ -123,4 +136,20 @@ func main() {
 		}
 		return experiments.FormatTable3(rows), nil
 	})
+	// Not part of "all": the overhead breakdown is an on-demand report.
+	if want["overhead"] {
+		step("overhead", func() (string, error) {
+			rows, err := experiments.OverheadReport(env, appList, nil)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatOverheadReport(rows), nil
+		})
+	}
+	stats := obs.NewStats(reg)
+	stats.GPU = *gpu
+	if err := obsFlags.Finish(tr, stats); err != nil {
+		fmt.Fprintf(os.Stderr, "obs output: %v\n", err)
+		os.Exit(1)
+	}
 }

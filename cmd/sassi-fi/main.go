@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"sassi/internal/faults"
+	"sassi/internal/obs"
+	"sassi/internal/obscli"
 	"sassi/internal/sim"
 	"sassi/internal/workloads"
 )
@@ -27,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 2015, "site-selection seed")
 	gpu := flag.String("gpu", "k20", "device model: k10, k20, k40, mini")
 	workers := flag.Int("workers", 0, "concurrent injection runs (0 = GOMAXPROCS); results are identical at any value")
+	obsFlags := obscli.Register()
 	flag.Parse()
 
 	spec, ok := workloads.Get(*workload)
@@ -58,6 +61,18 @@ func main() {
 		Injections: *n, Seed: *seed, Config: cfg,
 		Workers: *workers,
 	}
+	var reg *obs.Registry
+	campaignStats := func() *obs.Stats {
+		s := obs.NewStats(reg)
+		s.Workload = *workload
+		s.Dataset = ds
+		s.GPU = *gpu
+		s.Tool = "errorinj"
+		return s
+	}
+	reg, tr := obsFlags.Setup(campaignStats)
+	c.Metrics = reg
+	c.Trace = tr
 	start := time.Now()
 	res, err := c.Run()
 	if err != nil {
@@ -69,5 +84,9 @@ func main() {
 	for o := 0; o < faults.NumOutcomes; o++ {
 		oc := faults.Outcome(o)
 		fmt.Printf("  %-18s %5d (%5.1f%%)\n", oc.String()+":", res.Counts[o], 100*res.Fraction(oc))
+	}
+	if err := obsFlags.Finish(tr, campaignStats()); err != nil {
+		fmt.Fprintf(os.Stderr, "obs output: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -28,6 +28,8 @@ import (
 
 	"sassi/internal/cuda"
 	"sassi/internal/handlers"
+	"sassi/internal/obs"
+	"sassi/internal/obscli"
 	"sassi/internal/ptx"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
@@ -49,6 +51,7 @@ func main() {
 	grid := flag.Int("grid", 1, "grid size (CTAs) for -ptx kernels")
 	block := flag.Int("block", 128, "block size (threads) for -ptx kernels")
 	bufWords := flag.Int("bufwords", 1024, "words allocated per pointer parameter for -ptx kernels")
+	obsFlags := obscli.Register()
 	flag.Parse()
 
 	if *list {
@@ -94,12 +97,24 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := spec.Compile(ptxas.Options{})
+	ctx := cuda.NewContext(cfg)
+	var reg *obs.Registry
+	verified := false
+	reg, tr := obsFlags.Setup(func() *obs.Stats {
+		return runStats(reg, ctx, *workload, ds, *gpu, *tool, verified)
+	})
+	ctx.Device().Metrics = reg
+	ctx.Device().Trace = tr
+
+	var prog *sass.Program
+	var err error
+	tr.HostSpan(obs.TidHostCompile, "compile:"+spec.Name, func() {
+		prog, err = spec.Compile(ptxas.Options{})
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	ctx := cuda.NewContext(cfg)
 
 	// Wire up the selected tool.
 	var report func()
@@ -107,8 +122,8 @@ func main() {
 	case "none":
 	case "opcount":
 		p := handlers.NewOpCounter(ctx)
-		mustInstrument(prog, p.Options())
-		registerHandler(prog, ctx, p.Handler(!*faithful))
+		mustInstrument(prog, p.Options(), reg, tr)
+		registerHandler(prog, ctx, p.Handler(!*faithful), reg)
 		report = func() {
 			t := p.Totals()
 			fmt.Printf("opcount: mem=%d wide=%d ctrl=%d sync=%d numeric=%d texture=%d total=%d\n",
@@ -117,8 +132,8 @@ func main() {
 		}
 	case "branch":
 		p := handlers.NewBranchProfiler(ctx)
-		mustInstrument(prog, p.Options())
-		registerHandler(prog, ctx, pick(p.Handler(), p.SequentialHandler(), *faithful))
+		mustInstrument(prog, p.Options(), reg, tr)
+		registerHandler(prog, ctx, pick(p.Handler(), p.SequentialHandler(), *faithful), reg)
 		report = func() {
 			rows, err := p.Results()
 			if err != nil {
@@ -136,8 +151,8 @@ func main() {
 		}
 	case "memdiv":
 		p := handlers.NewMemDivProfiler(ctx)
-		mustInstrument(prog, p.Options())
-		registerHandler(prog, ctx, pick(p.Handler(), p.SequentialHandler(), *faithful))
+		mustInstrument(prog, p.Options(), reg, tr)
+		registerHandler(prog, ctx, pick(p.Handler(), p.SequentialHandler(), *faithful), reg)
 		report = func() {
 			m, err := p.Matrix()
 			if err != nil {
@@ -154,8 +169,8 @@ func main() {
 		}
 	case "valueprof":
 		p := handlers.NewValueProfiler(ctx)
-		mustInstrument(prog, p.Options())
-		registerHandler(prog, ctx, pick(p.Handler(), p.SequentialHandler(), *faithful))
+		mustInstrument(prog, p.Options(), reg, tr)
+		registerHandler(prog, ctx, pick(p.Handler(), p.SequentialHandler(), *faithful), reg)
 		report = func() {
 			s, err := p.Summarize()
 			if err != nil {
@@ -177,7 +192,10 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := spec.Run(ctx, prog, ds)
+	var res *workloads.Result
+	tr.HostSpan(obs.TidHostMain, "run:"+spec.Name, func() {
+		res, err = spec.Run(ctx, prog, ds)
+	})
 	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run failed: %v\n", err)
@@ -187,6 +205,7 @@ func main() {
 	if res.VerifyErr != nil {
 		fmt.Printf("VERIFICATION FAILED: %v\n", res.VerifyErr)
 	} else {
+		verified = true
 		fmt.Println("verification: PASSED")
 	}
 	fmt.Printf("launches=%d kernel-cycles=%d warp-instrs=%d handler-calls=%d wall=%s\n",
@@ -195,17 +214,40 @@ func main() {
 	if report != nil {
 		report()
 	}
+	if err := obsFlags.Finish(tr, runStats(reg, ctx, *workload, ds, *gpu, *tool, verified)); err != nil {
+		fmt.Fprintf(os.Stderr, "obs output: %v\n", err)
+		os.Exit(1)
+	}
 }
 
-func mustInstrument(prog *sass.Program, opts sassi.Options) {
+// runStats assembles the -stats-json / HTTP stats object from the live
+// context and registry.
+func runStats(reg *obs.Registry, ctx *cuda.Context, workload, dataset, gpu, tool string, verified bool) *obs.Stats {
+	s := obs.NewStats(reg)
+	s.Workload = workload
+	s.Dataset = dataset
+	s.GPU = gpu
+	s.Tool = tool
+	s.Launches = ctx.Launches()
+	s.KernelCycles = ctx.TotalKernelCycles
+	s.WarpInstrs = ctx.TotalWarpInstrs
+	s.HandlerCalls = ctx.TotalHandlerCalls
+	s.Verified = verified
+	return s
+}
+
+func mustInstrument(prog *sass.Program, opts sassi.Options, reg *obs.Registry, tr *obs.Tracer) {
+	opts.Metrics = reg
+	opts.Trace = tr
 	if err := sassi.Instrument(prog, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func registerHandler(prog *sass.Program, ctx *cuda.Context, h *sassi.Handler) {
+func registerHandler(prog *sass.Program, ctx *cuda.Context, h *sassi.Handler, reg *obs.Registry) {
 	rt := sassi.NewRuntime(prog)
+	rt.Metrics = reg
 	rt.MustRegister(h)
 	rt.Attach(ctx.Device())
 }

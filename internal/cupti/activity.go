@@ -1,0 +1,204 @@
+package cupti
+
+import (
+	"sync"
+
+	"sassi/internal/cuda"
+	"sassi/internal/sim"
+)
+
+// ActivityKind tags an ActivityRecord, mirroring CUPTI's
+// CUpti_ActivityKind enumeration (KERNEL, MEMCPY, and — our analog of the
+// instrumentation-specific kinds — handler aggregation).
+type ActivityKind int
+
+// Activity record kinds.
+const (
+	// ActivityKindKernel records one kernel launch with its merged
+	// execution statistics.
+	ActivityKindKernel ActivityKind = iota
+	// ActivityKindMemcpy records one host<->device copy.
+	ActivityKindMemcpy
+	// ActivityKindHandler records the per-launch instrumentation
+	// aggregate: handler calls and injected-instruction overhead.
+	ActivityKindHandler
+)
+
+func (k ActivityKind) String() string {
+	switch k {
+	case ActivityKindKernel:
+		return "kernel"
+	case ActivityKindMemcpy:
+		return "memcpy"
+	case ActivityKindHandler:
+		return "handler"
+	}
+	return "unknown"
+}
+
+// ActivityRecord is one buffered activity event. Field use varies by Kind:
+//
+//   - Kernel: Name is the kernel, LaunchIdx its launch ordinal, Start/End
+//     its span on the device cycle timeline (launches stack end to end),
+//     WarpInstrs/HandlerCalls the merged stats, CTAs the geometry.
+//   - Memcpy: Name is "HtoD" or "DtoH", Bytes the copy size.
+//   - Handler: Name is the kernel, LaunchIdx its ordinal, HandlerCalls
+//     and InjectedWarpInstrs the per-launch instrumentation aggregate.
+//
+// Seq is a global record ordinal: launches are serialized by the context,
+// so record order IS launch order, and Flush delivers it deterministically.
+type ActivityRecord struct {
+	Kind      ActivityKind
+	Seq       uint64
+	Name      string
+	LaunchIdx int
+
+	// Kernel timeline (device cycles).
+	Start uint64
+	End   uint64
+
+	WarpInstrs         uint64
+	HandlerCalls       uint64
+	InjectedWarpInstrs uint64
+	CTAs               int
+	Bytes              uint64
+	Failed             bool
+}
+
+// BufferCompleted is the drain callback: it receives each filled buffer of
+// records, in record order — the analog of CUPTI's bufferCompleted
+// callback (we skip bufferRequested; Go allocates internally).
+type BufferCompleted func(records []ActivityRecord)
+
+// Activity is a buffered activity-record stream attached to a context:
+// enabled kinds append records as the context launches kernels and copies
+// memory; full buffers are handed to the BufferCompleted callback, and
+// Flush drains the remainder — the cuptiActivityFlushAll analog.
+type Activity struct {
+	mu        sync.Mutex
+	enabled   map[ActivityKind]bool
+	buf       []ActivityRecord
+	bufCap    int
+	completed BufferCompleted
+	seq       uint64
+	cycleBase uint64
+}
+
+// DefaultActivityBufferCap is how many records a buffer holds before it is
+// delivered.
+const DefaultActivityBufferCap = 256
+
+// EnableActivity attaches an activity stream to ctx with all kinds
+// enabled. bufCap <= 0 selects DefaultActivityBufferCap.
+func EnableActivity(ctx *cuda.Context, bufCap int, completed BufferCompleted) *Activity {
+	if bufCap <= 0 {
+		bufCap = DefaultActivityBufferCap
+	}
+	a := &Activity{
+		enabled: map[ActivityKind]bool{
+			ActivityKindKernel:  true,
+			ActivityKindMemcpy:  true,
+			ActivityKindHandler: true,
+		},
+		bufCap:    bufCap,
+		completed: completed,
+	}
+	ctx.Subscribe(cuda.LaunchCallbacks{
+		PostLaunch: func(kernel string, idx int, stats *sim.KernelStats, err error) {
+			a.recordLaunch(kernel, idx, stats, err)
+		},
+	})
+	ctx.SubscribeMemcpy(func(dir cuda.MemcpyDir, bytes uint64) {
+		a.recordMemcpy(dir, bytes)
+	})
+	return a
+}
+
+// Enable turns a record kind on.
+func (a *Activity) Enable(kind ActivityKind) {
+	a.mu.Lock()
+	a.enabled[kind] = true
+	a.mu.Unlock()
+}
+
+// Disable turns a record kind off; already-buffered records stay.
+func (a *Activity) Disable(kind ActivityKind) {
+	a.mu.Lock()
+	a.enabled[kind] = false
+	a.mu.Unlock()
+}
+
+// add appends a record (caller holds a.mu), delivering the buffer when
+// full.
+func (a *Activity) add(r ActivityRecord) {
+	r.Seq = a.seq
+	a.seq++
+	a.buf = append(a.buf, r)
+	if len(a.buf) >= a.bufCap {
+		a.deliver()
+	}
+}
+
+// deliver hands the current buffer to the callback (caller holds a.mu).
+func (a *Activity) deliver() {
+	if len(a.buf) == 0 || a.completed == nil {
+		a.buf = a.buf[:0]
+		return
+	}
+	out := a.buf
+	a.buf = nil
+	a.completed(out)
+}
+
+func (a *Activity) recordLaunch(kernel string, idx int, stats *sim.KernelStats, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var cycles, warpInstrs, handlerCalls, injected uint64
+	ctas := 0
+	if stats != nil {
+		cycles = stats.Cycles
+		warpInstrs = stats.WarpInstrs
+		handlerCalls = stats.HandlerCalls
+		injected = stats.InjectedWarpInstrs
+		ctas = stats.CTAs
+	}
+	if a.enabled[ActivityKindKernel] {
+		a.add(ActivityRecord{
+			Kind: ActivityKindKernel, Name: kernel, LaunchIdx: idx,
+			Start: a.cycleBase, End: a.cycleBase + cycles,
+			WarpInstrs: warpInstrs, HandlerCalls: handlerCalls,
+			InjectedWarpInstrs: injected, CTAs: ctas, Failed: err != nil,
+		})
+	}
+	if a.enabled[ActivityKindHandler] && handlerCalls > 0 {
+		a.add(ActivityRecord{
+			Kind: ActivityKindHandler, Name: kernel, LaunchIdx: idx,
+			HandlerCalls: handlerCalls, InjectedWarpInstrs: injected,
+		})
+	}
+	a.cycleBase += cycles
+}
+
+func (a *Activity) recordMemcpy(dir cuda.MemcpyDir, bytes uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.enabled[ActivityKindMemcpy] {
+		return
+	}
+	a.add(ActivityRecord{Kind: ActivityKindMemcpy, Name: dir.String(),
+		LaunchIdx: -1, Bytes: bytes})
+}
+
+// Flush delivers any buffered records to the callback.
+func (a *Activity) Flush() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.deliver()
+}
+
+// Pending returns the number of undelivered records.
+func (a *Activity) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buf)
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"sassi/internal/cuda"
+	"sassi/internal/obs"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
 	"sassi/internal/sassi"
@@ -38,6 +39,11 @@ type Env struct {
 	// Cache shares compiled programs across experiments; Default() installs
 	// one. Nil compiles fresh each time.
 	Cache *sassi.CompileCache
+	// Metrics and Trace, when non-nil, thread the observability layer
+	// through every run the experiment performs: device counters, handler
+	// dispatch counts, instrumentation accounting, and timeline spans.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // Default returns the standard experiment environment.
@@ -56,7 +62,12 @@ func instrumentedRun(env Env, workload, dataset string,
 		return nil, fmt.Errorf("experiments: unknown workload %q", workload)
 	}
 	ctx := cuda.NewContext(env.Config)
+	ctx.Device().Metrics = env.Metrics
+	ctx.Device().Trace = env.Trace
 	h, opts := setup(ctx)
+	// Instrumentation metrics attach only on the uncached path below: cached
+	// builds are shared, and their instrument pass already reported through
+	// the cache's own hooks on first build.
 	// Cached programs are shared read-only, so instrumentation must happen
 	// inside the build closure; options carrying a Select closure are
 	// uncacheable and take the fresh-compile path.
@@ -75,6 +86,8 @@ func instrumentedRun(env Env, workload, dataset string,
 				return p, nil
 			})
 	} else {
+		opts.Metrics = env.Metrics
+		opts.Trace = env.Trace
 		prog, err = spec.Compile(ptxas.Options{})
 		if err == nil {
 			err = sassi.Instrument(prog, opts)
@@ -84,6 +97,7 @@ func instrumentedRun(env Env, workload, dataset string,
 		return nil, err
 	}
 	rt := sassi.NewRuntime(prog)
+	rt.Metrics = env.Metrics
 	if err := rt.Register(h); err != nil {
 		return nil, err
 	}
@@ -111,6 +125,8 @@ func baselineRun(env Env, workload, dataset string) (*cuda.Context, time.Duratio
 		return nil, 0, err
 	}
 	ctx := cuda.NewContext(env.Config)
+	ctx.Device().Metrics = env.Metrics
+	ctx.Device().Trace = env.Trace
 	start := time.Now()
 	res, err := spec.Run(ctx, prog, dataset)
 	wall := time.Since(start)

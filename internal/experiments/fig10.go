@@ -57,6 +57,7 @@ func Figure10(env Env, apps []string, injections int, seed uint64) ([]Fig10Row, 
 			Spec: spec, Dataset: dataset,
 			Injections: injections, Seed: seed, Config: env.Config,
 			Workers: env.Workers, Cache: env.Cache,
+			Metrics: env.Metrics, Trace: env.Trace,
 		}
 		res, err := c.Run()
 		if err != nil {

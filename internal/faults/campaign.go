@@ -12,6 +12,7 @@ import (
 
 	"sassi/internal/cuda"
 	"sassi/internal/handlers"
+	"sassi/internal/obs"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
 	"sassi/internal/sassi"
@@ -74,6 +75,15 @@ type Campaign struct {
 	// shared cache extends that sharing across campaigns. Nil uses a
 	// campaign-private cache.
 	Cache *sassi.CompileCache
+
+	// Metrics, when non-nil, receives campaign progress: faults.runs,
+	// faults.runs_failed, faults.workers, faults.sites_total, and one
+	// faults.outcome.<name> counter per category.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records the golden and profiling phases on the
+	// host lane and one wall-clock lane per injection worker (PidCampaign),
+	// with a span per run carrying its outcome.
+	Trace *obs.Tracer
 }
 
 // launchProfile records one launch's per-thread qualifying site counts.
@@ -118,6 +128,8 @@ func (c *Campaign) Run() (*Result, error) {
 	cache := c.Cache
 	if cache == nil {
 		cache = sassi.NewCompileCache()
+		cache.Metrics = c.Metrics
+		cache.Trace = c.Trace
 	}
 
 	// (0) Golden reference run, uninstrumented.
@@ -126,7 +138,10 @@ func (c *Campaign) Run() (*Result, error) {
 		return nil, err
 	}
 	goldenCtx := cuda.NewContext(c.Config)
-	golden, err := c.Spec.Run(goldenCtx, goldenProg, c.Dataset)
+	var golden *workloads.Result
+	c.Trace.HostSpan(obs.TidHostMain, "golden:"+c.Spec.Name, func() {
+		golden, err = c.Spec.Run(goldenCtx, goldenProg, c.Dataset)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("faults: golden run failed: %w", err)
 	}
@@ -176,8 +191,12 @@ func (c *Campaign) Run() (*Result, error) {
 			_ = profCtx.MemcpyHtoD(profPtr(prof), zero)
 		},
 	})
-	if _, err := c.Spec.Run(profCtx, instProg, c.Dataset); err != nil {
-		return nil, fmt.Errorf("faults: profiling run failed: %w", err)
+	var profErr error
+	c.Trace.HostSpan(obs.TidHostMain, "profile:"+c.Spec.Name, func() {
+		_, profErr = c.Spec.Run(profCtx, instProg, c.Dataset)
+	})
+	if profErr != nil {
+		return nil, fmt.Errorf("faults: profiling run failed: %w", profErr)
 	}
 	var totalSites uint64
 	for _, lp := range profiles {
@@ -202,13 +221,23 @@ func (c *Campaign) Run() (*Result, error) {
 	if workers > c.Injections {
 		workers = c.Injections
 	}
+	c.Metrics.Gauge(obs.MFaultsWorkers).Set(uint64(workers))
+	c.Metrics.Gauge(obs.MFaultsSitesTotal).Set(totalSites)
+	if c.Trace != nil {
+		c.Trace.NameProcess(obs.PidCampaign, "fault campaign (wall µs)")
+		for w := 0; w < workers; w++ {
+			c.Trace.NameThread(obs.PidCampaign, w, fmt.Sprintf("worker %d", w))
+		}
+	}
+	runsCtr := c.Metrics.Counter(obs.MFaultsRuns)
+	failedCtr := c.Metrics.Counter(obs.MFaultsRunsFailed)
 	outcomes := make([]Outcome, c.Injections)
 	errs := make([]error, c.Injections)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				run := int(next.Add(1)) - 1
@@ -217,9 +246,19 @@ func (c *Campaign) Run() (*Result, error) {
 				}
 				rng := newRNG(runSeed(c.Seed, run))
 				site := c.selectSite(profiles, rng)
+				ts := c.Trace.Now()
 				outcomes[run], errs[run] = c.injectOnce(instProg, site, injCfg, golden)
+				runsCtr.Inc()
+				if errs[run] != nil {
+					failedCtr.Inc()
+				}
+				if c.Trace != nil {
+					c.Trace.Span(obs.PidCampaign, w, fmt.Sprintf("run %d", run),
+						ts, c.Trace.Now()-ts,
+						map[string]any{"outcome": outcomes[run].String()})
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for run, err := range errs {
@@ -230,6 +269,11 @@ func (c *Campaign) Run() (*Result, error) {
 	for _, o := range outcomes {
 		res.Counts[o]++
 		res.Total++
+	}
+	if reg := c.Metrics; reg != nil {
+		for o := 0; o < NumOutcomes; o++ {
+			reg.Counter(obs.MFaultsOutcomePref + Outcome(o).String()).Add(uint64(res.Counts[o]))
+		}
 	}
 	return res, nil
 }

@@ -1,0 +1,23 @@
+package mem
+
+import "sassi/internal/obs"
+
+// PublishHierarchy refreshes the per-level memory-hierarchy gauges from
+// device-lifetime totals. Caches accumulate across launches, so these are
+// gauges set to the current cumulative counts rather than counters; the
+// caller invokes this once per kernel exit from a single goroutine. A nil
+// registry is a no-op.
+func PublishHierarchy(reg *obs.Registry, l1, l2 CacheStats, dramTransactions uint64) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(obs.MMemL1Accesses).Set(l1.Accesses)
+	reg.Gauge(obs.MMemL1Hits).Set(l1.Hits)
+	reg.Gauge(obs.MMemL1Misses).Set(l1.Misses)
+	reg.Gauge(obs.MMemL1Evictions).Set(l1.Evictions)
+	reg.Gauge(obs.MMemL2Accesses).Set(l2.Accesses)
+	reg.Gauge(obs.MMemL2Hits).Set(l2.Hits)
+	reg.Gauge(obs.MMemL2Misses).Set(l2.Misses)
+	reg.Gauge(obs.MMemL2Evictions).Set(l2.Evictions)
+	reg.Gauge(obs.MMemDRAMTransact).Set(dramTransactions)
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics    Prometheus text exposition (counters, gauges, histograms)
+//	/stats.json expvar-style JSON: the flattened registry, sorted keys
+//
+// stats, when non-nil, is called per /stats.json request to refresh
+// run-level fields around the metrics map.
+func Handler(reg *Registry, stats func() *Stats) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s := NewStats(reg)
+		if stats != nil {
+			s = stats()
+		}
+		_ = s.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "sassi observability: /metrics (Prometheus text), /stats.json")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr in a background
+// goroutine, returning immediately. Errors (e.g. port in use) are reported
+// through errf since the caller has usually moved on.
+func Serve(addr string, reg *Registry, stats func() *Stats, errf func(error)) {
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, stats)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, sorted by metric name. Dots in registry names become underscores
+// (Prometheus identifiers), sharded counters emit one sample per shard with
+// an sm label plus the total, and histograms emit cumulative _bucket
+// samples with le labels plus _sum and _count.
+func WritePrometheus(w interface{ Write([]byte) (int, error) }, reg *Registry) {
+	for _, m := range reg.Snapshot() {
+		name := promName(m.Name)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, m.Kind)
+		switch m.Kind {
+		case KindHistogram:
+			cum := uint64(0)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.UpperBound, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Value)
+			fmt.Fprintf(w, "%s_sum %d\n", name, m.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", name, m.Value)
+		case KindSharded:
+			for i, v := range m.Shards {
+				fmt.Fprintf(w, "%s{sm=\"%d\"} %d\n", name, i, v)
+			}
+			fmt.Fprintf(w, "%s %d\n", name, m.Value)
+		default:
+			fmt.Fprintf(w, "%s %d\n", name, m.Value)
+		}
+	}
+}
+
+// promName maps a registry name to a Prometheus identifier.
+func promName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

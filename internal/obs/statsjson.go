@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// StatsSchema identifies the -stats-json output format. Bump on any field
+// reorder or rename; downstream scripts key on it.
+const StatsSchema = "sassi-stats/1"
+
+// Stats is the machine-readable run summary emitted by -stats-json.
+// Field order is fixed by this struct declaration and the metrics map
+// marshals with sorted keys (encoding/json sorts map[string] keys), so the
+// serialized bytes are deterministic — the golden-file test in cmd/sassi
+// pins the schema.
+type Stats struct {
+	Schema   string `json:"schema"`
+	Workload string `json:"workload,omitempty"`
+	Dataset  string `json:"dataset,omitempty"`
+	GPU      string `json:"gpu,omitempty"`
+	Tool     string `json:"tool,omitempty"`
+
+	Launches     int    `json:"launches"`
+	KernelCycles uint64 `json:"kernel_cycles"`
+	WarpInstrs   uint64 `json:"warp_instrs"`
+	HandlerCalls uint64 `json:"handler_calls"`
+	Verified     bool   `json:"verified"`
+
+	// Metrics is the registry flattened to name → value (sorted on
+	// marshal). Wall-clock quantities are deliberately excluded so the
+	// output is reproducible run to run.
+	Metrics map[string]uint64 `json:"metrics"`
+}
+
+// NewStats returns a Stats with the schema tag set and the registry
+// flattened in (nil registry gives an empty metrics object).
+func NewStats(reg *Registry) *Stats {
+	m := reg.Flat("sm")
+	if m == nil {
+		m = map[string]uint64{}
+	}
+	return &Stats{Schema: StatsSchema, Metrics: m}
+}
+
+// WriteJSON writes the stats as indented JSON with a trailing newline.
+func (s *Stats) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

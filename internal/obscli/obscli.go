@@ -1,0 +1,98 @@
+// Package obscli wires the observability layer into the command-line
+// tools: cmd/sassi, cmd/sassi-fi, and cmd/experiments all expose the same
+// -trace / -stats-json / -http flags through this package, so the flag
+// semantics (and the zero-cost-when-off rule: no flag, nil registry and
+// tracer) stay identical across binaries.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sassi/internal/obs"
+)
+
+// Flags holds the shared observability flag values.
+type Flags struct {
+	// TraceOut is -trace: a Chrome trace-event JSON output path.
+	TraceOut string
+	// StatsOut is -stats-json: a run-stats JSON output path ("-" = stdout).
+	StatsOut string
+	// HTTPAddr is -http: address for the /metrics + /stats.json endpoint.
+	HTTPAddr string
+}
+
+// Register declares -trace, -stats-json, and -http on the default flag set.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TraceOut, "trace", "",
+		"write a Chrome trace-event JSON timeline here (load at ui.perfetto.dev)")
+	flag.StringVar(&f.StatsOut, "stats-json", "",
+		`write run statistics as sorted JSON here ("-" for stdout)`)
+	flag.StringVar(&f.HTTPAddr, "http", "",
+		"serve /metrics (Prometheus text) and /stats.json on this address, e.g. :8080")
+	return f
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *Flags) Enabled() bool {
+	return f.TraceOut != "" || f.StatsOut != "" || f.HTTPAddr != ""
+}
+
+// Setup returns the registry and tracer the flags imply — both nil when
+// their outputs are off, keeping disabled observability free — and starts
+// the HTTP endpoint if requested. stats is called per /stats.json request
+// to wrap the live registry; nil serves the bare flattened registry.
+func (f *Flags) Setup(stats func() *obs.Stats) (*obs.Registry, *obs.Tracer) {
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if f.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	if f.TraceOut != "" {
+		tr = obs.NewTracer()
+		tr.NameProcess(obs.PidHost, "host (wall µs)")
+		tr.NameThread(obs.PidHost, obs.TidHostMain, "main")
+		tr.NameThread(obs.PidHost, obs.TidHostCompile, "compile+instrument")
+	}
+	if f.HTTPAddr != "" {
+		obs.Serve(f.HTTPAddr, reg, stats, func(err error) {
+			fmt.Fprintf(os.Stderr, "obs http: %v\n", err)
+		})
+	}
+	return reg, tr
+}
+
+// Finish writes the -trace and -stats-json outputs. stats may be nil when
+// -stats-json is off.
+func (f *Flags) Finish(tr *obs.Tracer, stats *obs.Stats) error {
+	if f.TraceOut != "" {
+		w, err := os.Create(f.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	if f.StatsOut != "" && stats != nil {
+		if f.StatsOut == "-" {
+			return stats.WriteJSON(os.Stdout)
+		}
+		w, err := os.Create(f.StatsOut)
+		if err != nil {
+			return err
+		}
+		if err := stats.WriteJSON(w); err != nil {
+			w.Close()
+			return err
+		}
+		return w.Close()
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package sassi
 import (
 	"sync"
 
+	"sassi/internal/obs"
 	"sassi/internal/sass"
 )
 
@@ -28,6 +29,13 @@ type CompileCache struct {
 	entries map[string]*cacheEntry
 	hits    uint64
 	misses  uint64
+
+	// Metrics, when non-nil, mirrors hits/misses into the registry under
+	// sassi.compile_cache.*. Trace, when non-nil, records each build (the
+	// misses — hits cost nothing worth a span) on the host compile lane.
+	// Set both before the first Get; they are read without the mutex.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 type cacheEntry struct {
@@ -47,7 +55,8 @@ func NewCompileCache() *CompileCache {
 func (c *CompileCache) Get(key string, build func() (*sass.Program, error)) (*sass.Program, error) {
 	c.mu.Lock()
 	e := c.entries[key]
-	if e == nil {
+	miss := e == nil
+	if miss {
 		e = &cacheEntry{}
 		c.entries[key] = e
 		c.misses++
@@ -55,7 +64,16 @@ func (c *CompileCache) Get(key string, build func() (*sass.Program, error)) (*sa
 		c.hits++
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.prog, e.err = build() })
+	if miss {
+		c.Metrics.Counter(obs.MSassiCacheMisses).Inc()
+	} else {
+		c.Metrics.Counter(obs.MSassiCacheHits).Inc()
+	}
+	e.once.Do(func() {
+		c.Trace.HostSpan(obs.TidHostCompile, "compile:"+key, func() {
+			e.prog, e.err = build()
+		})
+	})
 	return e.prog, e.err
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"sassi/internal/analysis"
 	"sassi/internal/mem"
+	"sassi/internal/obs"
 	"sassi/internal/sass"
 )
 
@@ -35,6 +36,7 @@ func Instrument(prog *sass.Program, opts Options) error {
 		if verify {
 			orig = k.Clone()
 		}
+		t0 := opts.Trace.Now()
 		n, remap, err := instrumentKernel(prog, k, ki, &opts, siteID)
 		if err != nil {
 			var ie *Error
@@ -43,6 +45,8 @@ func Instrument(prog *sass.Program, opts Options) error {
 			}
 			return &Error{Kernel: k.Name, Site: -1, Err: err}
 		}
+		opts.Trace.Span(obs.PidHost, obs.TidHostCompile, "instrument:"+k.Name,
+			t0, opts.Trace.Now()-t0, map[string]any{"sites": n})
 		siteID += n
 		if verify {
 			origs.AddKernel(orig)
@@ -71,6 +75,14 @@ type injector struct {
 
 	out      []sass.Instruction
 	maxFrame int64
+
+	// Instrumentation-time accounting, published to opts.Metrics at the end
+	// of instrumentKernel. saveRestore is the ABI spill/fill share of
+	// injected — the quantity behind the paper's §9.1 observation that most
+	// instrumentation overhead is state save/restore, not handler work.
+	injected    uint64
+	saveRestore uint64
+	injBySym    map[string]uint64
 }
 
 func (ij *injector) emit(in sass.Instruction) {
@@ -187,6 +199,15 @@ func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options,
 	if k.NumRegs < HandlerMaxRegs {
 		k.NumRegs = HandlerMaxRegs
 	}
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter(obs.MSassiKernels).Inc()
+		reg.Counter(obs.MSassiSites).Add(uint64(sites))
+		reg.Counter(obs.MSassiInjectedInstrs).Add(ij.injected)
+		reg.Counter(obs.MSassiSaveRestoreInstrs).Add(ij.saveRestore)
+		for sym, n := range ij.injBySym {
+			reg.Counter(obs.MSassiInjectedPrefix + sym).Add(n)
+		}
+	}
 	return sites, origAt, nil
 }
 
@@ -200,6 +221,7 @@ func (ij *injector) injectCall(origIdx int, in *sass.Instruction, live sass.RegS
 	if frame > ij.maxFrame {
 		ij.maxFrame = frame
 	}
+	callStart := len(ij.out)
 
 	// (1) Allocate the stack frame.
 	ij.emitOp(sass.OpIADD, sass.Mods{}, []sass.Operand{sass.R(sass.SP)},
@@ -304,6 +326,16 @@ func (ij *injector) injectCall(origIdx int, in *sass.Instruction, live sass.RegS
 	}
 	ij.emitOp(sass.OpIADD, sass.Mods{}, []sass.Operand{sass.R(sass.SP)},
 		[]sass.Operand{sass.R(sass.SP), sass.Imm(frame)})
+
+	// Account the site: everything emitted since callStart is injected; the
+	// save/restore share is the two frame adjusts, the GPR spill/fill pairs,
+	// and the four P2R/R2P snapshots with their STL/LDL companions.
+	ij.injected += uint64(len(ij.out) - callStart)
+	ij.saveRestore += 10 + 2*uint64(len(spillRegs))
+	if ij.injBySym == nil {
+		ij.injBySym = make(map[string]uint64)
+	}
+	ij.injBySym[handlerSym] += uint64(len(ij.out) - callStart)
 }
 
 // extraSize returns the byte size of the site's extra parameter object.

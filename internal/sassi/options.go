@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sassi/internal/analysis"
+	"sassi/internal/obs"
 	"sassi/internal/sass"
 )
 
@@ -91,6 +92,17 @@ type Options struct {
 	// restored around handler calls, site IDs dense. The zero value runs
 	// it under `go test` only; see analysis.VerifyMode.
 	Verify analysis.VerifyMode
+
+	// Metrics, when non-nil, receives instrumentation-time counters: sites
+	// injected, injected instructions (split out per handler symbol), and
+	// the ABI save/restore share — the quantity behind the paper's §9.1
+	// "~80% of overhead is spill/fill" claim. Excluded from CacheKey: it
+	// observes the work, it doesn't shape the output.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, records an instrument-phase span per kernel on
+	// the host lane. Also excluded from CacheKey.
+	Trace *obs.Tracer
 }
 
 // Spec returns the instrumentation ABI as an analysis.ABISpec, the contract

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sassi/internal/device"
+	"sassi/internal/obs"
 	"sassi/internal/sass"
 	"sassi/internal/sim"
 )
@@ -50,6 +51,15 @@ type Handler struct {
 type Runtime struct {
 	prog *sass.Program
 	byID map[int]*Handler
+
+	// Metrics, when non-nil, counts dispatches per handler symbol
+	// (handlers.dispatch.<symbol>) and the warp occupancy of each call
+	// (handlers.dispatch_active_lanes). Set it before Register: counters
+	// resolve once there, so Dispatch does no registry lookups.
+	Metrics *obs.Registry
+
+	dispatches  map[int]*obs.Counter
+	activeLanes *obs.Histogram
 }
 
 // NewRuntime creates a runtime for one instrumented program.
@@ -68,6 +78,13 @@ func (rt *Runtime) Register(h *Handler) error {
 		return fmt.Errorf("sassi: program has no JCAL site for symbol %q (was it instrumented?)", h.Name)
 	}
 	rt.byID[id] = h
+	if rt.Metrics != nil {
+		if rt.dispatches == nil {
+			rt.dispatches = make(map[int]*obs.Counter)
+			rt.activeLanes = rt.Metrics.Histogram(obs.MHandlerActiveLanes)
+		}
+		rt.dispatches[id] = rt.Metrics.Counter(obs.MHandlerDispatchPrefix + h.Name)
+	}
 	return nil
 }
 
@@ -84,6 +101,10 @@ func (rt *Runtime) Dispatch(dev *sim.Device, w *sim.Warp, handlerID int) error {
 	h, ok := rt.byID[handlerID]
 	if !ok {
 		return fmt.Errorf("sassi: JCAL to unregistered handler id %d", handlerID)
+	}
+	if c := rt.dispatches[handlerID]; c != nil {
+		c.Inc()
+		rt.activeLanes.Observe(uint64(w.NumActive()))
 	}
 	fn := h.Fn
 	if h.NewFn != nil {

@@ -7,6 +7,7 @@ import (
 	"math/bits"
 
 	"sassi/internal/mem"
+	"sassi/internal/obs"
 	"sassi/internal/sass"
 )
 
@@ -26,6 +27,10 @@ type engine struct {
 	sms    []smShard
 	ntid   [3]uint32
 	nctaid [3]uint32
+
+	// cycleBase offsets this launch's device-lane trace spans so
+	// successive launches stack on the device timeline.
+	cycleBase uint64
 }
 
 // smShard is one SM's private slice of the launch state: its view of the
@@ -44,6 +49,14 @@ type smShard struct {
 	maxWarpInstrs        uint64
 	globalTransactions   uint64
 	cycles               uint64
+
+	// Observability counters: divergent-branch events and warp-sweeps a
+	// warp sat blocked at a barrier. Plain fields like the rest of the
+	// shard, so recording them costs nothing beyond the increment and the
+	// order-independent merge keeps parallel runs bit-equal.
+	divergentBranches  uint64
+	barrierStallSweeps uint64
+	ctasRun            uint64
 }
 
 func (e *engine) fail(w *Warp, kind ErrKind, format string, args ...any) error {
@@ -280,6 +293,7 @@ func (e *engine) execBranch(w *Warp, in *sass.Instruction, taken uint32) error {
 		w.Stack = append(w.Stack, divEntry{kind: divDEF, pc: w.PC + 1, mask: fall})
 		w.Active = taken
 		w.PC = target
+		e.sms[w.CTA.SM].divergentBranches++
 	}
 	return nil
 }
@@ -297,7 +311,12 @@ func (e *engine) execJCAL(w *Warp, in *sass.Instruction, exec uint32) error {
 	if e.dev.Dispatcher == nil {
 		return fmt.Errorf("JCAL %q with no handler dispatcher installed", t.Name)
 	}
-	e.sms[w.CTA.SM].handlerCalls++
+	st := &e.sms[w.CTA.SM]
+	st.handlerCalls++
+	if tr := e.dev.Trace; tr != nil {
+		tr.Span(obs.PidDevice, w.CTA.SM, "handler:"+t.Name,
+			float64(e.cycleBase+st.cycles), float64(e.dev.Cfg.HandlerBodyCost), nil)
+	}
 	return e.dev.Dispatcher.Dispatch(e.dev, w, id)
 }
 

@@ -260,7 +260,11 @@ func (e *engine) execGeneric(w *Warp, in *sass.Instruction, exec uint32, width s
 		st.globalTransactions += uint64(res.UniqueLines())
 		cost = st.hier.AccessLines(res.Lines, store)
 		if e.dev.MemWatch != nil {
-			e.dev.MemWatch(w.PC, res, store)
+			e.dev.MemWatch(MemAccess{
+				PC: w.PC, SM: w.CTA.SM,
+				Warp:  w.CTA.Index*len(w.CTA.Warps) + w.IDinCTA,
+				Store: store, Res: res,
+			})
 		}
 	}
 	return cost, nil

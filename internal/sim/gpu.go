@@ -10,8 +10,10 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"sassi/internal/mem"
+	"sassi/internal/obs"
 )
 
 // WarpSize is the number of threads per warp (fixed, as on NVIDIA parts).
@@ -165,7 +167,80 @@ type Device struct {
 	// access after coalescing (trace export, §9.4 "driving other
 	// simulators"). Setting it forces sequential SM execution so the
 	// recorded event order is deterministic.
-	MemWatch func(pc int, res mem.Result, store bool)
+	MemWatch func(ev MemAccess)
+
+	// Metrics, when non-nil, receives the launch's counters at kernel
+	// exit: per-SM issue/stall/divergence sharded counters and per-level
+	// memory-hierarchy gauges. The warp-issue hot path never touches it —
+	// counts accumulate in per-SM shard fields and are published once per
+	// launch, so a nil registry costs nothing and a non-nil one merges
+	// order-independently (bit-equal parallel vs sequential).
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, records device-lane spans (per-SM kernel and
+	// CTA spans, handler-dispatch spans) on the obs timeline. Span
+	// timestamps are modeled cycles offset by a per-device base so
+	// successive launches stack instead of overlapping.
+	Trace *obs.Tracer
+
+	traceMu        sync.Mutex
+	traceNamed     bool
+	traceCycleBase uint64
+}
+
+// MemAccess is one observed warp-level memory transaction set, tagged with
+// the SM and (launch-global) warp that issued it so traces can be
+// correlated with per-SM timelines.
+type MemAccess struct {
+	PC int
+	// SM is the streaming multiprocessor the warp ran on.
+	SM int
+	// Warp is the launch-global warp id: CTA index times warps-per-CTA
+	// plus the warp's index within its CTA.
+	Warp  int
+	Store bool
+	Res   mem.Result
+}
+
+// traceBase reserves the device-timeline window for a launch expected to
+// span cycles, returning the window's base cycle.
+func (d *Device) traceBase() uint64 {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	return d.traceCycleBase
+}
+
+// traceAdvance moves the device timeline past a completed launch.
+func (d *Device) traceAdvance(cycles uint64) {
+	d.traceMu.Lock()
+	d.traceCycleBase += cycles
+	d.traceMu.Unlock()
+}
+
+// nameTraceLanes emits the one-time lane metadata for this device.
+func (d *Device) nameTraceLanes() {
+	d.traceMu.Lock()
+	defer d.traceMu.Unlock()
+	if d.traceNamed {
+		return
+	}
+	d.traceNamed = true
+	d.Trace.NameProcess(obs.PidDevice, d.Cfg.Name+" (cycles)")
+	for sm := 0; sm < d.Cfg.NumSMs; sm++ {
+		d.Trace.NameThread(obs.PidDevice, sm, fmt.Sprintf("SM %d", sm))
+	}
+}
+
+// L1Stats returns the device-wide L1 statistics (sum over per-SM caches;
+// zero when the configuration disables L1).
+func (d *Device) L1Stats() mem.CacheStats {
+	var s mem.CacheStats
+	for _, c := range d.L1s {
+		if c != nil {
+			s.Add(c.Stats)
+		}
+	}
+	return s
 }
 
 // Dispatcher runs an instrumentation handler for one warp at a call site.

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"sassi/internal/mem"
+	"sassi/internal/obs"
 	"sassi/internal/sass"
 )
 
@@ -60,6 +61,10 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 		return nil, fmt.Errorf("sim: kernel %q wants %d args, got %d", kernelName, len(k.Params), len(p.Args))
 	}
 	e := &engine{dev: d, prog: prog, k: k}
+	if d.Trace != nil {
+		d.nameTraceLanes()
+		e.cycleBase = d.traceBase()
+	}
 	e.stats = &KernelStats{Kernel: kernelName, SMCycles: make([]uint64, d.Cfg.NumSMs)}
 	e.sms = make([]smShard, d.Cfg.NumSMs)
 	for i := range e.sms {
@@ -166,6 +171,18 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 		wg.Wait()
 	}
 	e.finishStats()
+	if d.Trace != nil {
+		for sm := range perSM {
+			if len(perSM[sm]) == 0 {
+				continue
+			}
+			d.Trace.Span(obs.PidDevice, sm, "kernel:"+kernelName,
+				float64(e.cycleBase), float64(e.sms[sm].cycles),
+				map[string]any{"ctas": len(perSM[sm]), "launch_cycles": e.stats.Cycles})
+		}
+		d.traceAdvance(e.stats.Cycles)
+	}
+	e.publishMetrics()
 	for _, err := range smErrs {
 		if err != nil {
 			return e.stats, err
@@ -207,6 +224,45 @@ func (e *engine) finishStats() {
 			s.Cycles = st.cycles
 		}
 	}
+}
+
+// publishMetrics pushes the launch's merged counters into the device's
+// registry: per-SM sharded issue/stall/divergence counters (published once
+// per launch from the single post-merge goroutine, so shard writes never
+// race) and per-level memory-hierarchy gauges. A nil registry skips
+// everything — the simulation itself never consults the registry.
+func (e *engine) publishMetrics() {
+	reg := e.dev.Metrics
+	if reg == nil {
+		return
+	}
+	n := e.dev.Cfg.NumSMs
+	shard := func(name string) *obs.ShardedCounter { return reg.Sharded(name, n) }
+	warp := shard(obs.MSimWarpInstrs)
+	thread := shard(obs.MSimThreadInstrs)
+	injW := shard(obs.MSimInjectedWarpInstrs)
+	injT := shard(obs.MSimInjectedThreadInstrs)
+	hcalls := shard(obs.MSimHandlerCalls)
+	cycles := shard(obs.MSimCycles)
+	stalls := shard(obs.MSimBarrierStalls)
+	div := shard(obs.MSimDivergentBranches)
+	ctas := shard(obs.MSimCTAs)
+	gtrans := shard(obs.MMemGlobalTrans)
+	for i := range e.sms {
+		st := &e.sms[i]
+		warp.AddShard(i, st.warpInstrs)
+		thread.AddShard(i, st.threadInstrs)
+		injW.AddShard(i, st.injectedWarpInstrs)
+		injT.AddShard(i, st.injectedThreadInstrs)
+		hcalls.AddShard(i, st.handlerCalls)
+		cycles.AddShard(i, st.cycles)
+		stalls.AddShard(i, st.barrierStallSweeps)
+		div.AddShard(i, st.divergentBranches)
+		ctas.AddShard(i, st.ctasRun)
+		gtrans.AddShard(i, st.globalTransactions)
+	}
+	reg.Counter(obs.MSimLaunches).Inc()
+	mem.PublishHierarchy(reg, e.dev.L1Stats(), e.dev.L2Stats(), e.dev.DRAMTransactions())
 }
 
 // buildCTA instantiates the threads and warps of one CTA.
@@ -251,16 +307,24 @@ func (e *engine) buildCTA(ctaIdx int, grid, block Dim3, numRegs, localBytes, sha
 // instruction per warp per sweep.
 func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes, sharedBytes, maxResident int) error {
 	pending := ctas
+	st := &e.sms[sm]
+	tr := e.dev.Trace
 	var resident []*CTA
 	for len(pending) > 0 || len(resident) > 0 {
 		for len(resident) < maxResident && len(pending) > 0 {
-			resident = append(resident, e.buildCTA(pending[0], grid, block, numRegs, localBytes, sharedBytes, sm))
+			cta := e.buildCTA(pending[0], grid, block, numRegs, localBytes, sharedBytes, sm)
+			cta.traceStart = st.cycles
+			resident = append(resident, cta)
 			pending = pending[1:]
 		}
 		progress := false
 		for _, cta := range resident {
 			for _, w := range cta.Warps {
-				if w.Done || w.AtBarrier {
+				if w.Done {
+					continue
+				}
+				if w.AtBarrier {
+					st.barrierStallSweeps++
 					continue
 				}
 				if err := e.step(w); err != nil {
@@ -288,6 +352,12 @@ func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes
 		for _, cta := range resident {
 			if cta.liveWarps() > 0 {
 				live = append(live, cta)
+				continue
+			}
+			st.ctasRun++
+			if tr != nil {
+				tr.Span(obs.PidDevice, sm, fmt.Sprintf("cta %d", cta.Index),
+					float64(e.cycleBase+cta.traceStart), float64(st.cycles-cta.traceStart), nil)
 			}
 		}
 		resident = live

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"sassi/internal/obs"
 	"sassi/internal/sim"
 )
 
@@ -57,6 +58,48 @@ func TestParallelMatchesSequentialStats(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// launchMetrics runs the gid kernel on a fresh device with a live registry
+// and returns the flattened metric snapshot.
+func launchMetrics(t *testing.T, cfg sim.Config, grid, block sim.Dim3) map[string]uint64 {
+	t.Helper()
+	prog := storeGlobalIdKernel(t)
+	dev := sim.NewDevice(cfg)
+	reg := obs.NewRegistry()
+	dev.Metrics = reg
+	out := dev.Alloc(uint64(4*grid.Count()*block.Count()), "out")
+	if _, err := dev.Launch(prog, "gid", sim.LaunchParams{
+		Grid: grid, Block: block, Args: []uint64{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg.Flat("sm")
+}
+
+// TestParallelMatchesSequentialMetrics extends the determinism contract to
+// the observability registry: the flattened metric map — per-SM shards
+// included — must be bit-equal between the concurrent-SM engine and the
+// sequential escape hatch, and across repeated parallel runs. Shard cells
+// are single-writer and merges are order-independent sums, so any diff here
+// means a shard leaked across SM goroutines.
+func TestParallelMatchesSequentialMetrics(t *testing.T) {
+	grid, block := sim.D2(6, 3), sim.D2(8, 8)
+	seq := sim.KeplerK10()
+	seq.SequentialSMs = true
+	par := sim.KeplerK10()
+	par.SequentialSMs = false
+
+	want := launchMetrics(t, seq, grid, block)
+	if want[obs.MSimWarpInstrs] == 0 || want[obs.MSimWarpInstrs+".sm0"] == 0 {
+		t.Fatalf("registry not populated: %v", want)
+	}
+	for i := 0; i < 3; i++ {
+		got := launchMetrics(t, par, grid, block)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel run %d metrics diverge:\n got %v\nwant %v", i, got, want)
+		}
 	}
 }
 

@@ -102,6 +102,9 @@ type CTA struct {
 	SM               int
 
 	barrierGen int
+	// traceStart is the SM-cycle count when the CTA became resident (used
+	// only when the device records a trace).
+	traceStart uint64
 }
 
 // liveWarps returns the warps that are neither done nor nil.

@@ -15,9 +15,14 @@ import (
 	"sassi/internal/sim"
 )
 
-// Event is one warp-level memory transaction set.
+// Event is one warp-level memory transaction set. SM and Warp identify the
+// issuing streaming multiprocessor and launch-global warp, so the trace
+// can be correlated with per-SM timelines (the obs tracer's lanes) and
+// replayed per SM.
 type Event struct {
 	PC    int32
+	SM    int32
+	Warp  int32
 	Store bool
 	Lines []uint64
 }
@@ -31,22 +36,36 @@ type MemTracer struct {
 
 // Attach hooks the tracer into a device's memory watch point.
 func (t *MemTracer) Attach(dev *sim.Device) {
-	dev.MemWatch = func(pc int, res mem.Result, store bool) {
+	dev.MemWatch = func(ev sim.MemAccess) {
 		if t.MaxEvents > 0 && len(t.Events) >= t.MaxEvents {
 			return
 		}
-		lines := append([]uint64(nil), res.Lines...)
-		t.Events = append(t.Events, Event{PC: int32(pc), Store: store, Lines: lines})
+		lines := append([]uint64(nil), ev.Res.Lines...)
+		t.Events = append(t.Events, Event{
+			PC: int32(ev.PC), SM: int32(ev.SM), Warp: int32(ev.Warp),
+			Store: ev.Store, Lines: lines,
+		})
 	}
 }
 
 // Detach removes the hook.
 func (t *MemTracer) Detach(dev *sim.Device) { dev.MemWatch = nil }
 
-// Write serializes the trace in a compact binary format.
+// Binary format magics. Version 2 adds per-event SM and Warp words so
+// memory traces correlate with per-SM timelines; version 1 (no identity
+// words) remains readable.
+const (
+	magicV1 = "SASSITR1"
+	magicV2 = "SASSITR2"
+)
+
+// Write serializes the trace in the compact version-2 binary format:
+// magic, event count, then per event PC(u32) flags(u32) SM(u32) Warp(u32)
+// followed by the line addresses (u64 each). flags bit 0 is Store; the
+// remaining bits carry the line count.
 func (t *MemTracer) Write(w io.Writer) error {
 	var hdr [8]byte
-	copy(hdr[:], "SASSITR1")
+	copy(hdr[:], magicV2)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -65,6 +84,11 @@ func (t *MemTracer) Write(w io.Writer) error {
 		if _, err := w.Write(buf[:]); err != nil {
 			return err
 		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(e.SM))
+		binary.LittleEndian.PutUint32(buf[4:], uint32(e.Warp))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
 		for _, l := range e.Lines {
 			binary.LittleEndian.PutUint64(buf[:], l)
 			if _, err := w.Write(buf[:]); err != nil {
@@ -75,13 +99,21 @@ func (t *MemTracer) Write(w io.Writer) error {
 	return nil
 }
 
-// Read deserializes a trace written by Write.
+// Read deserializes a trace written by Write: both the current version-2
+// format and legacy version-1 traces (whose events decode with SM and Warp
+// zero) are accepted.
 func Read(r io.Reader) (*MemTracer, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	if string(hdr[:]) != "SASSITR1" {
+	var version int
+	switch string(hdr[:]) {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
 	}
 	var buf [8]byte
@@ -98,6 +130,13 @@ func Read(r io.Reader) (*MemTracer, error) {
 		flags := binary.LittleEndian.Uint32(buf[4:])
 		e.Store = flags&1 != 0
 		count := int(flags >> 1)
+		if version >= 2 {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return nil, err
+			}
+			e.SM = int32(binary.LittleEndian.Uint32(buf[:4]))
+			e.Warp = int32(binary.LittleEndian.Uint32(buf[4:]))
+		}
 		e.Lines = make([]uint64, count)
 		for j := 0; j < count; j++ {
 			if _, err := io.ReadFull(r, buf[:]); err != nil {

@@ -61,7 +61,7 @@ func TestTraceMaxEvents(t *testing.T) {
 	dev := sim.NewDevice(sim.MiniGPU())
 	tr.Attach(dev)
 	for i := 0; i < 5; i++ {
-		dev.MemWatch(0, mem.Result{Lines: []uint64{1}, NumActive: 1}, false)
+		dev.MemWatch(sim.MemAccess{Res: mem.Result{Lines: []uint64{1}, NumActive: 1}})
 	}
 	if len(tr.Events) != 2 {
 		t.Errorf("events = %d, want cap 2", len(tr.Events))
@@ -81,7 +81,8 @@ func TestTraceSerializationRoundtripQuick(t *testing.T) {
 			for j := range lines {
 				lines[j] = uint64(lineSeed) + uint64(j)*32
 			}
-			tr.Events = append(tr.Events, trace.Event{PC: pcs[i], Store: store, Lines: lines})
+			tr.Events = append(tr.Events, trace.Event{PC: pcs[i], Store: store, Lines: lines,
+				SM: int32(i % 4), Warp: int32(i)})
 		}
 		var buf bytes.Buffer
 		if err := tr.Write(&buf); err != nil {
@@ -96,7 +97,7 @@ func TestTraceSerializationRoundtripQuick(t *testing.T) {
 		}
 		for i := range back.Events {
 			a, b := back.Events[i], tr.Events[i]
-			if a.PC != b.PC || a.Store != b.Store {
+			if a.PC != b.PC || a.Store != b.Store || a.SM != b.SM || a.Warp != b.Warp {
 				return false
 			}
 			if len(a.Lines) != len(b.Lines) {
@@ -110,6 +111,82 @@ func TestTraceSerializationRoundtripQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceEventsCarrySMAndWarp: events recorded from a live device carry
+// the issuing SM and a launch-global warp id, so the memory trace can be
+// correlated with per-SM timelines.
+func TestTraceEventsCarrySMAndWarp(t *testing.T) {
+	b := ptx.NewKernel("k")
+	out := b.ParamU64("out")
+	i := b.GlobalTidX()
+	b.StGlobalU32(b.Index(out, i, 2), 0, i)
+	m := ptx.NewModule()
+	m.Add(b.MustDone())
+	prog, err := ptxas.Compile(m, ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cuda.NewContext(sim.MiniGPU()) // 2 SMs
+	tr := &trace.MemTracer{}
+	tr.Attach(ctx.Device())
+	buf := ctx.Malloc(4*64*4, "out")
+	// 4 CTAs of 2 warps each: CTAs round-robin across both SMs.
+	if _, err := ctx.LaunchKernel(prog, "k", sim.LaunchParams{
+		Grid: sim.D1(4), Block: sim.D1(64), Args: []uint64{uint64(buf)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sms := map[int32]bool{}
+	warps := map[int32]bool{}
+	for _, e := range tr.Events {
+		sms[e.SM] = true
+		warps[e.Warp] = true
+	}
+	if len(sms) != 2 {
+		t.Errorf("events cover %d SMs, want 2 (%v)", len(sms), sms)
+	}
+	// 4 CTAs x 2 warps = 8 distinct global warp ids.
+	if len(warps) != 8 {
+		t.Errorf("events cover %d warps, want 8 (%v)", len(warps), warps)
+	}
+	for w := range warps {
+		if w < 0 || w >= 8 {
+			t.Errorf("warp id %d outside [0,8)", w)
+		}
+	}
+}
+
+// TestReadDecodesLegacyV1 pins backward compatibility: a version-1 trace
+// (pre SM/Warp fields) still decodes, with zero identity fields.
+func TestReadDecodesLegacyV1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("SASSITR1")
+	w64 := func(v uint64) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		buf.Write(b[:])
+	}
+	w32pair := func(a, b uint32) { w64(uint64(a) | uint64(b)<<32) }
+	w64(2)                // two events
+	w32pair(7, 2<<1|1)    // pc=7, store, 2 lines
+	w64(0x100)            // line 0
+	w64(0x180)            // line 1
+	w32pair(9, 1<<1)      // pc=9, load, 1 line
+	w64(0x200)            // line 0
+	back, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []trace.Event{
+		{PC: 7, Store: true, Lines: []uint64{0x100, 0x180}},
+		{PC: 9, Store: false, Lines: []uint64{0x200}},
+	}
+	if !reflect.DeepEqual(back.Events, want) {
+		t.Fatalf("v1 decode = %+v, want %+v", back.Events, want)
 	}
 }
 
