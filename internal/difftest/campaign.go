@@ -1,0 +1,142 @@
+package difftest
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sassi/internal/sassi"
+	"sassi/internal/sim"
+)
+
+// Campaign drives many oracle runs over generated kernels, with the same
+// worker-pool discipline as the fault campaigns: per-run seeds are a pure
+// function of (Seed, run index) via SplitMix, so results are identical at
+// any worker count, and all workers share one CompileCache.
+type Campaign struct {
+	Seed    uint64
+	Runs    int
+	Workers int // 0 = GOMAXPROCS
+	Size    Size
+	Tools   []Tool     // nil = all registered tools
+	Cfg     sim.Config // zero = MiniGPU
+	Log     io.Writer  // nil = quiet; failures are logged as they appear
+
+	// Shrink minimizes failing kernels before reporting (on by default in
+	// the CLI; tests that want the raw failing Prog leave it false).
+	Shrink bool
+}
+
+// CampaignFailure is one diverging kernel, minimized if Campaign.Shrink.
+type CampaignFailure struct {
+	Run      int
+	Seed     uint64 // per-run derived seed
+	Prog     *Prog  // failing (possibly minimized) kernel
+	Failures []Failure
+}
+
+// Note renders the failure list as a repro-header note.
+func (cf *CampaignFailure) Note() string {
+	s := fmt.Sprintf("run %d (derived seed %#x)", cf.Run, cf.Seed)
+	for _, f := range cf.Failures {
+		s += "\n" + f.String()
+	}
+	return s
+}
+
+// CampaignResult summarizes a campaign.
+type CampaignResult struct {
+	Runs        int
+	Launches    int
+	Failures    []CampaignFailure
+	Errors      []error // harness errors (generator/compile bugs), not verdicts
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Run executes the campaign. A non-nil error is reserved for setup
+// problems; kernel divergences land in CampaignResult.Failures and
+// harness errors in CampaignResult.Errors.
+func (c *Campaign) Run() (*CampaignResult, error) {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > c.Runs {
+		workers = c.Runs
+	}
+	cfg := c.Cfg
+	if cfg.NumSMs == 0 {
+		cfg = sim.MiniGPU()
+	}
+	tools := c.Tools
+	if tools == nil {
+		tools = Tools()
+	}
+	cache := sassi.NewCompileCache()
+
+	res := &CampaignResult{Runs: c.Runs}
+	var (
+		mu       sync.Mutex
+		next     atomic.Int64
+		launches atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker owns an Oracle (Run threads per-tool state), all
+			// sharing the campaign-wide compile cache.
+			o := &Oracle{Cfg: cfg, Tools: tools, Cache: cache,
+				HandlerMaxRegs: sassi.HandlerMaxRegs}
+			for {
+				run := int(next.Add(1)) - 1
+				if run >= c.Runs {
+					return
+				}
+				seed := SplitMix(c.Seed, uint64(run))
+				p := Generate(seed, c.Size)
+				r, err := o.Run(p)
+				if r != nil {
+					launches.Add(int64(r.Launches))
+				}
+				if err != nil {
+					mu.Lock()
+					res.Errors = append(res.Errors, fmt.Errorf("run %d: %w", run, err))
+					mu.Unlock()
+					continue
+				}
+				if !r.Failed() {
+					continue
+				}
+				cf := CampaignFailure{Run: run, Seed: seed, Prog: p, Failures: r.Failures}
+				if c.Shrink {
+					cf.Prog = Shrink(p, func(q *Prog) bool {
+						qr, qerr := o.Run(q)
+						if qr != nil {
+							launches.Add(int64(qr.Launches))
+						}
+						return qerr == nil && qr.Failed()
+					})
+					if qr, qerr := o.Run(cf.Prog); qerr == nil {
+						cf.Failures = qr.Failures
+					}
+				}
+				mu.Lock()
+				res.Failures = append(res.Failures, cf)
+				if c.Log != nil {
+					fmt.Fprintf(c.Log, "FAIL run %d seed %#x: %d divergence(s); first: %s\n",
+						run, seed, len(cf.Failures), cf.Failures[0])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Launches = int(launches.Load())
+	res.CacheHits, res.CacheMisses = cache.Stats()
+	return res, nil
+}

@@ -1,0 +1,249 @@
+package difftest
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"sassi/internal/cuda"
+	"sassi/internal/obs"
+	"sassi/internal/ptxas"
+	"sassi/internal/sass"
+	"sassi/internal/sassi"
+	"sassi/internal/sim"
+)
+
+// Oracle runs one generated kernel through the full differential matrix.
+type Oracle struct {
+	// Cfg is the device model; SequentialSMs is overridden per launch.
+	Cfg sim.Config
+	// Tools are the instrumentation configurations checked for
+	// transparency (default: Tools()).
+	Tools []Tool
+	// Cache deduplicates compiles and instrumented builds across oracle
+	// runs — the shared compile-cache discipline from the fault campaigns.
+	Cache *sassi.CompileCache
+	// HandlerMaxRegs is the injection ABI's scratch-register window
+	// (default sassi.HandlerMaxRegs); GPRs at or above it must survive
+	// instrumentation bit-exactly.
+	HandlerMaxRegs int
+
+	// lastSeq threads each tool's sequential run to its parallel sibling
+	// inside Run. Oracles are single-goroutine; campaign workers each own
+	// their own Oracle.
+	lastSeq *RunState
+}
+
+// NewOracle builds an oracle on the mini device model with the given
+// tools (nil = all registered tools).
+func NewOracle(tools []Tool) *Oracle {
+	if tools == nil {
+		tools = Tools()
+	}
+	return &Oracle{
+		Cfg:            sim.MiniGPU(),
+		Tools:          tools,
+		Cache:          sassi.NewCompileCache(),
+		HandlerMaxRegs: sassi.HandlerMaxRegs,
+	}
+}
+
+// Result is one kernel's verdict across the whole matrix.
+type Result struct {
+	Prog     *Prog
+	NumRegs  int // base kernel register count
+	Launches int
+	Failures []Failure
+}
+
+// Failed reports whether any comparison diverged.
+func (r *Result) Failed() bool { return len(r.Failures) > 0 }
+
+// Run executes the matrix for one generated kernel:
+//
+//	base/seq ──full── base/par          (engine determinism)
+//	base/seq ─transp─ tool/seq          (injection transparency, per tool)
+//	tool/seq ──full── tool/par          (engine determinism under tools)
+//
+// A non-nil error means the harness itself failed (the kernel would not
+// compile or the uninstrumented reference would not run) — a generator
+// bug, not an oracle verdict.
+func (o *Oracle) Run(p *Prog) (*Result, error) {
+	fp, err := o.fingerprint(p)
+	if err != nil {
+		return nil, err
+	}
+	base, err := o.Cache.Get(fp+"/base", func() (*sass.Program, error) {
+		return o.compile(p)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: compile seed %d: %w", p.Seed, err)
+	}
+	res := &Result{Prog: p, NumRegs: base.Kernels[0].NumRegs}
+
+	ref, err := o.launch(p, base, nil, true, "base/seq")
+	res.Launches++
+	if err != nil {
+		return nil, fmt.Errorf("difftest: reference run seed %d: %w", p.Seed, err)
+	}
+	par, err := o.launch(p, base, nil, false, "base/par")
+	res.Launches++
+	if err != nil {
+		res.Failures = append(res.Failures, Failure{Axis: "engine",
+			Want: "base/seq", Got: "base/par", Diff: fmt.Sprintf("launch failed: %v", err)})
+	} else {
+		res.Failures = append(res.Failures, compareFull(ref, par)...)
+	}
+
+	for _, tool := range o.Tools {
+		tool := tool
+		for _, seq := range []bool{true, false} {
+			variant := tool.Name + "/par"
+			if seq {
+				variant = tool.Name + "/seq"
+			}
+			st, err := o.launch(p, nil, &instrumentedSpec{fp: fp, tool: tool}, seq, variant)
+			res.Launches++
+			if err != nil {
+				res.Failures = append(res.Failures, Failure{Axis: "transparency",
+					Want: "base/seq", Got: variant,
+					Diff: fmt.Sprintf("launch failed: %v", err)})
+				break
+			}
+			if seq {
+				res.Failures = append(res.Failures,
+					compareTransparent(ref, st, o.HandlerMaxRegs)...)
+				o.lastSeq = st
+			} else if o.lastSeq != nil {
+				res.Failures = append(res.Failures, compareFull(o.lastSeq, st)...)
+			}
+		}
+		o.lastSeq = nil
+	}
+	return res, nil
+}
+
+// lastSeq threads the per-tool sequential run to its parallel sibling.
+// Oracles are single-goroutine; campaign workers each own an Oracle.
+
+// compile renders and compiles the base program. The module is rebuilt
+// from the Prog each time because the backend optimizes ptx in place.
+func (o *Oracle) compile(p *Prog) (*sass.Program, error) {
+	m, err := p.Build()
+	if err != nil {
+		return nil, err
+	}
+	return ptxas.Compile(m, ptxas.Options{})
+}
+
+// fingerprint keys the compile cache by rendered kernel text, so distinct
+// Progs never collide and identical ones (fuzz duplicates, shrinker
+// retries) share one compile.
+func (o *Oracle) fingerprint(p *Prog) (string, error) {
+	m, err := p.Build()
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	fmt.Fprint(h, m.Funcs[0].Dump())
+	return fmt.Sprintf("difftest/%016x", h.Sum64()), nil
+}
+
+type instrumentedSpec struct {
+	fp   string
+	tool Tool
+}
+
+// launch runs one matrix cell and snapshots its final state. Exactly one
+// of base/inst is set: base launches the uninstrumented program, inst
+// builds (through the cache) and launches the tool-instrumented variant.
+func (o *Oracle) launch(p *Prog, base *sass.Program, inst *instrumentedSpec,
+	sequential bool, variant string) (*RunState, error) {
+	cfg := o.Cfg
+	cfg.SequentialSMs = sequential
+	ctx := cuda.NewContext(cfg)
+	dev := ctx.Device()
+	reg := obs.NewRegistry()
+	dev.Metrics = reg
+
+	// Kernel-owned buffers first, so their addresses match across all
+	// variants regardless of which tool allocates state afterwards.
+	inBuf := make([]uint32, InWords)
+	for i := range inBuf {
+		inBuf[i] = uint32(SplitMix(p.Seed, uint64(i)))
+	}
+	inPtr := ctx.AllocU32("difftest.in", inBuf)
+	outPtr := ctx.Malloc(uint64(4*p.OutWords()), "difftest.out")
+	if err := ctx.Memset32(outPtr, 0, p.OutWords()); err != nil {
+		return nil, err
+	}
+	accPtr := ctx.Malloc(4*AccWords, "difftest.acc")
+	if err := ctx.Memset32(accPtr, 0, AccWords); err != nil {
+		return nil, err
+	}
+
+	prog := base
+	if inst != nil {
+		opts, hs := inst.tool.Make(ctx)
+		ckey, cacheable := opts.CacheKey()
+		if !cacheable {
+			return nil, fmt.Errorf("difftest: tool %s options are uncacheable", inst.tool.Name)
+		}
+		var err error
+		prog, err = o.Cache.Get(inst.fp+"/tool/"+inst.tool.Name+"/"+ckey,
+			func() (*sass.Program, error) {
+				ip, err := o.compile(p)
+				if err != nil {
+					return nil, err
+				}
+				if err := sassi.Instrument(ip, opts); err != nil {
+					return nil, err
+				}
+				return ip, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("difftest: instrument %s: %w", inst.tool.Name, err)
+		}
+		rt := sassi.NewRuntime(prog)
+		rt.Metrics = reg
+		for _, h := range hs {
+			// A kernel with no sites of the tool's class (e.g. no
+			// conditional branches for the branch profiler) gets no JCAL
+			// for the symbol; the handler simply never fires.
+			if _, ok := prog.Handlers[h.Name]; !ok {
+				continue
+			}
+			if err := rt.Register(h); err != nil {
+				return nil, err
+			}
+		}
+		rt.Attach(dev)
+	}
+
+	col := newCollector()
+	dev.CTARetire = col.hook
+	stats, err := ctx.LaunchKernel(prog, KernelName, sim.LaunchParams{
+		Grid:  sim.D1(p.GridX),
+		Block: sim.D1(p.BlockX),
+		Args:  []uint64{uint64(inPtr), uint64(outPtr), uint64(accPtr)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := ctx.ReadU32(outPtr, p.OutWords())
+	if err != nil {
+		return nil, err
+	}
+	acc, err := ctx.ReadU32(accPtr, AccWords)
+	if err != nil {
+		return nil, err
+	}
+	return &RunState{
+		Variant: variant,
+		CTAs:    col.ctas,
+		Out:     out,
+		Acc:     acc,
+		Stats:   stats,
+		Metrics: reg.Flat("sm"),
+		NumRegs: prog.Kernels[0].NumRegs,
+	}, nil
+}

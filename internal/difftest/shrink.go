@@ -1,0 +1,223 @@
+package difftest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Shrink greedily minimizes a failing Prog. fails must return true when
+// the candidate still exhibits the divergence (and false for candidates
+// that no longer fail OR fail to build — an unbuildable candidate proves
+// nothing). The result is a local minimum: no single statement deletion,
+// control-flow unwrap, trip-count reduction, geometry reduction, or pool
+// reduction still fails.
+//
+// Every edit maps a valid Prog to a valid Prog — the shrinker works on
+// the generator's AST, not on PTX text — so candidates never need
+// re-validation, and barrier placement stays legal by construction
+// (deletion and unwrap-to-parent can only move statements toward uniform
+// context, never into divergent bodies).
+func Shrink(p *Prog, fails func(*Prog) bool) *Prog {
+	cur := p.Clone()
+	for {
+		shrunk := false
+		for _, cand := range candidates(cur) {
+			if fails(cand) {
+				cur = cand
+				shrunk = true
+				break
+			}
+		}
+		if !shrunk {
+			return cur
+		}
+	}
+}
+
+// Edit-protocol results for the counter-indexed tree walks below.
+const (
+	editMiss    = iota // index lies beyond this subtree
+	editApplied        // edit applied at the index
+	editNoop           // index reached but the edit is not applicable there
+)
+
+// candidates enumerates every single-step reduction of p, biggest
+// reductions first: statement deletion, control-flow unwrapping, loop
+// trip reduction, then geometry and variable-pool reductions.
+func candidates(p *Prog) []*Prog {
+	var out []*Prog
+	n := p.NumStmts()
+	for i := 0; i < n; i++ {
+		q, k := p.Clone(), i
+		if ss, r := deleteNth(q.Stmts, &k); r == editApplied {
+			q.Stmts = ss
+			out = append(out, q)
+		}
+	}
+	for i := 0; i < n; i++ {
+		q, k := p.Clone(), i
+		if ss, r := unwrapNth(q.Stmts, &k); r == editApplied {
+			q.Stmts = ss
+			out = append(out, q)
+		}
+	}
+	for i := 0; i < n; i++ {
+		q, k := p.Clone(), i
+		if r := tripNth(q.Stmts, &k); r == editApplied {
+			out = append(out, q)
+		}
+	}
+	if p.GridX > 1 {
+		q := p.Clone()
+		q.GridX = 1
+		out = append(out, q)
+	}
+	if p.BlockX > 32 {
+		q := p.Clone()
+		q.BlockX = 32
+		out = append(out, q)
+	}
+	for _, nu := range []int{p.NumU / 2, p.NumU - 1} {
+		if nu >= 1 && nu < p.NumU {
+			q := p.Clone()
+			q.NumU = nu
+			out = append(out, q)
+		}
+	}
+	if p.NumF > 1 {
+		q := p.Clone()
+		q.NumF = p.NumF - 1
+		out = append(out, q)
+	}
+	return out
+}
+
+// deleteNth removes the n-th statement in pre-order.
+func deleteNth(ss []Stmt, n *int) ([]Stmt, int) {
+	for i := range ss {
+		if *n == 0 {
+			return append(ss[:i:i], ss[i+1:]...), editApplied
+		}
+		*n--
+		if body, r := deleteNth(ss[i].Body, n); r != editMiss {
+			ss[i].Body = body
+			return ss, r
+		}
+		if els, r := deleteNth(ss[i].Else, n); r != editMiss {
+			ss[i].Else = els
+			return ss, r
+		}
+	}
+	return ss, editMiss
+}
+
+// unwrapNth splices the n-th statement's Body (and Else) in place of the
+// statement itself — turning `if c { B } else { E }` into `B; E` and
+// `for { B }` into one `B`.
+func unwrapNth(ss []Stmt, n *int) ([]Stmt, int) {
+	for i := range ss {
+		if *n == 0 {
+			s := ss[i]
+			if len(s.Body) == 0 && len(s.Else) == 0 {
+				return ss, editNoop
+			}
+			repl := make([]Stmt, 0, len(ss)-1+len(s.Body)+len(s.Else))
+			repl = append(repl, ss[:i]...)
+			repl = append(repl, s.Body...)
+			repl = append(repl, s.Else...)
+			repl = append(repl, ss[i+1:]...)
+			return repl, editApplied
+		}
+		*n--
+		if body, r := unwrapNth(ss[i].Body, n); r != editMiss {
+			ss[i].Body = body
+			return ss, r
+		}
+		if els, r := unwrapNth(ss[i].Else, n); r != editMiss {
+			ss[i].Else = els
+			return ss, r
+		}
+	}
+	return ss, editMiss
+}
+
+// tripNth reduces the n-th statement's loop trip count to 1 (Trip renders
+// as mod(Trip,4)+1, so Trip=0 is the minimum).
+func tripNth(ss []Stmt, n *int) int {
+	for i := range ss {
+		if *n == 0 {
+			if ss[i].Kind != StFor || mod(ss[i].Trip, 4) == 0 {
+				return editNoop
+			}
+			ss[i].Trip = 0
+			return editApplied
+		}
+		*n--
+		if r := tripNth(ss[i].Body, n); r != editMiss {
+			return r
+		}
+		if r := tripNth(ss[i].Else, n); r != editMiss {
+			return r
+		}
+	}
+	return editMiss
+}
+
+// reproMarker prefixes the machine-readable Prog line inside a repro file.
+const reproMarker = "// prog: "
+
+// Repro renders a failing Prog as a standalone .ptx repro: a comment
+// header with the seed, geometry, and failure note, one machine-readable
+// JSON line (so ParseRepro can reload it), then the rendered kernel text.
+func Repro(p *Prog, note string) (string, error) {
+	m, err := p.Build()
+	if err != nil {
+		return "", fmt.Errorf("difftest: repro render: %w", err)
+	}
+	js, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// difftest repro — minimized failing kernel\n")
+	fmt.Fprintf(&sb, "// seed: %d  grid: %d  block: %d  pools: u=%d f=%d  stmts: %d\n",
+		p.Seed, p.GridX, p.BlockX, p.NumU, p.NumF, p.NumStmts())
+	for _, line := range strings.Split(strings.TrimRight(note, "\n"), "\n") {
+		if line != "" {
+			fmt.Fprintf(&sb, "// %s\n", line)
+		}
+	}
+	fmt.Fprintf(&sb, "%s%s\n//\n", reproMarker, js)
+	sb.WriteString(m.Funcs[0].Dump())
+	return sb.String(), nil
+}
+
+// WriteRepro writes a repro file for p at path.
+func WriteRepro(path string, p *Prog, note string) error {
+	s, err := Repro(p, note)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(s), 0o644)
+}
+
+// ParseRepro recovers the Prog from a repro file produced by Repro.
+func ParseRepro(data []byte) (*Prog, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, reproMarker) {
+			var p Prog
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, reproMarker)), &p); err != nil {
+				return nil, fmt.Errorf("difftest: repro prog line: %w", err)
+			}
+			return &p, nil
+		}
+	}
+	return nil, fmt.Errorf("difftest: no %q line in repro", strings.TrimSpace(reproMarker))
+}

@@ -1,0 +1,123 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// containsKind is the synthetic failure predicate the shrinker tests use:
+// structural, deterministic, and independent of the simulator.
+func containsKind(ss []Stmt, k StmtKind) bool {
+	for i := range ss {
+		if ss[i].Kind == k ||
+			containsKind(ss[i].Body, k) || containsKind(ss[i].Else, k) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShrinkReachesLocalMinimum(t *testing.T) {
+	// Bury one StAtom in a large generated kernel; "fails" = contains an
+	// StAtom. The minimum is a single statement at minimal geometry.
+	p := Generate(7, DefaultSize())
+	p.Stmts = append(p.Stmts, Stmt{Kind: StIf, Body: []Stmt{
+		{Kind: StArith}, {Kind: StAtom, K: 3}, {Kind: StArithF},
+	}})
+	fails := func(q *Prog) bool { return containsKind(q.Stmts, StAtom) }
+	if !fails(p) {
+		t.Fatal("setup: original must fail")
+	}
+	min := Shrink(p, fails)
+	if !fails(min) {
+		t.Fatal("shrinker lost the failure")
+	}
+	if n := min.NumStmts(); n != 1 {
+		t.Errorf("minimized to %d stmts, want 1: %+v", n, min.Stmts)
+	}
+	if min.Stmts[0].Kind != StAtom {
+		t.Errorf("surviving stmt kind = %v, want StAtom", min.Stmts[0].Kind)
+	}
+	if min.GridX != 1 || min.BlockX != 32 || min.NumU != 1 || min.NumF != 1 {
+		t.Errorf("geometry not minimized: grid=%d block=%d u=%d f=%d",
+			min.GridX, min.BlockX, min.NumU, min.NumF)
+	}
+	if _, err := min.Build(); err != nil {
+		t.Fatalf("minimized kernel must stay buildable: %v", err)
+	}
+}
+
+func TestShrinkUnwrapsControlFlow(t *testing.T) {
+	p := &Prog{Seed: 3, GridX: 2, BlockX: 64, NumU: 4, NumF: 1, Stmts: []Stmt{
+		{Kind: StFor, Trip: 3, Body: []Stmt{
+			{Kind: StIfElse,
+				Body: []Stmt{{Kind: StShfl}},
+				Else: []Stmt{{Kind: StArith}}},
+		}},
+	}}
+	min := Shrink(p, func(q *Prog) bool { return containsKind(q.Stmts, StShfl) })
+	if n := min.NumStmts(); n != 1 || min.Stmts[0].Kind != StShfl {
+		t.Fatalf("want lone StShfl, got %d stmts: %+v", n, min.Stmts)
+	}
+}
+
+// TestReproFormat pins the repro file layout: comment header with seed and
+// geometry, a machine-readable prog line, then the rendered kernel.
+func TestReproFormat(t *testing.T) {
+	p := &Prog{Seed: 0xabc, GridX: 1, BlockX: 32, NumU: 2, NumF: 1,
+		Stmts: []Stmt{{Kind: StArith, D: 1, A: 0, B: 1}}}
+	s, err := Repro(p, "engine axis: out[7] mismatch\nsecond line")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(s, "\n")
+	if !strings.HasPrefix(lines[0], "// difftest repro") {
+		t.Errorf("line 0 = %q, want repro banner", lines[0])
+	}
+	if !strings.Contains(lines[1], "seed: 2748") || !strings.Contains(lines[1], "block: 32") {
+		t.Errorf("line 1 = %q, want seed and geometry", lines[1])
+	}
+	if !strings.Contains(s, "// engine axis: out[7] mismatch") ||
+		!strings.Contains(s, "// second line") {
+		t.Errorf("note lines missing:\n%s", s)
+	}
+	if !strings.Contains(s, "\n.entry "+KernelName+"\n") {
+		t.Errorf("rendered kernel missing:\n%s", s)
+	}
+	for _, line := range lines {
+		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, ".") ||
+			strings.HasPrefix(line, "    ") || strings.HasSuffix(line, ":") {
+			continue
+		}
+		t.Errorf("stray line %q: repro files must be comments + PTX", line)
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	p := Generate(11, DefaultSize())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repro.ptx")
+	if err := WriteRepro(path, p, "note"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseRepro(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatal("ParseRepro(Repro(p)) != p")
+	}
+}
+
+func TestParseReproRejectsPlainPTX(t *testing.T) {
+	if _, err := ParseRepro([]byte(".entry fz\n    EXIT;\n")); err == nil {
+		t.Fatal("want error for a file without a prog line")
+	}
+}

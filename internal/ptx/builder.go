@@ -504,6 +504,82 @@ func (b *Builder) ExchGlobal(addr Value, off int64, v Value) Value {
 	return d
 }
 
+// LdLocalU32 loads a u32 from per-thread local memory at byte offset
+// addr+off (space-relative, like ld.local).
+func (b *Builder) LdLocalU32(addr Value, off int64) Value {
+	b.want(addr, "ld.local", TU32, TS32)
+	return b.ld(SpLocal, TU32, 4, addr, off)
+}
+
+// LdLocalF32 loads an f32 from per-thread local memory.
+func (b *Builder) LdLocalF32(addr Value, off int64) Value {
+	b.want(addr, "ld.local", TU32, TS32)
+	return b.ld(SpLocal, TF32, 4, addr, off)
+}
+
+// StLocalU32 stores a u32 to per-thread local memory.
+func (b *Builder) StLocalU32(addr Value, off int64, v Value) {
+	b.want(addr, "st.local", TU32, TS32)
+	b.st(SpLocal, TU32, 4, addr, off, v)
+}
+
+// StLocalF32 stores an f32 to per-thread local memory.
+func (b *Builder) StLocalF32(addr Value, off int64, v Value) {
+	b.want(addr, "st.local", TU32, TS32)
+	b.st(SpLocal, TF32, 4, addr, off, v)
+}
+
+// Warp collectives.
+
+// Ballot returns the 32-bit mask of active lanes where pred holds
+// (vote.ballot.b32).
+func (b *Builder) Ballot(pred Value) Value {
+	b.want(pred, "vote.ballot", TPred)
+	d := b.F.NewValue(TU32)
+	b.F.Emit(Instr{Op: OpVote, Type: TU32, Vote: sass.VoteBALLOT, Dst: d, A: pred})
+	return d
+}
+
+// VoteAll returns a predicate: pred holds on every active lane.
+func (b *Builder) VoteAll(pred Value) Value {
+	b.want(pred, "vote.all", TPred)
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpVote, Type: TPred, Vote: sass.VoteALL, Dst: d, A: pred})
+	return d
+}
+
+// VoteAny returns a predicate: pred holds on some active lane.
+func (b *Builder) VoteAny(pred Value) Value {
+	b.want(pred, "vote.any", TPred)
+	d := b.F.NewValue(TPred)
+	b.F.Emit(Instr{Op: OpVote, Type: TPred, Vote: sass.VoteANY, Dst: d, A: pred})
+	return d
+}
+
+// Shfl reads v from the lane selected by lane&31 (shfl.idx). Inactive
+// source lanes yield the reading lane's own value.
+func (b *Builder) Shfl(v, lane Value) Value {
+	t := b.typeOf(v)
+	if t != TU32 && t != TS32 && t != TF32 {
+		panic(fmt.Sprintf("ptx: shfl of %s (want a 32-bit type)", t))
+	}
+	b.want(lane, "shfl lane", TU32, TS32)
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpShfl, Type: t, Dst: d, A: v, B: lane})
+	return d
+}
+
+// ShflI is Shfl with an immediate source lane.
+func (b *Builder) ShflI(v Value, lane int64) Value {
+	t := b.typeOf(v)
+	if t != TU32 && t != TS32 && t != TF32 {
+		panic(fmt.Sprintf("ptx: shfl of %s (want a 32-bit type)", t))
+	}
+	d := b.F.NewValue(t)
+	b.F.Emit(Instr{Op: OpShfl, Type: t, Dst: d, A: v, Imm: lane, HasImm: true})
+	return d
+}
+
 // Control flow.
 
 // Bar emits a CTA-wide barrier.

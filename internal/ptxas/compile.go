@@ -65,6 +65,7 @@ func CompileFunc(f *ptx.Func, opts Options) (*sass.Kernel, error) {
 	if !opts.NoCopyProp {
 		copyPropagate(f)
 		deadCodeEliminate(f)
+		reduceDeadAtomics(f)
 	}
 	ivs, err := liveAnalysis(f)
 	if err != nil {

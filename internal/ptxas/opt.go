@@ -1,6 +1,9 @@
 package ptxas
 
-import "sassi/internal/ptx"
+import (
+	"sassi/internal/ptx"
+	"sassi/internal/sass"
+)
 
 // PTX-level cleanup passes. The Builder API emits straightforward code
 // with many value copies (type reinterpretation, Var initialization);
@@ -89,6 +92,25 @@ func pureOp(op ptx.Op) bool {
 		return true
 	}
 	return false
+}
+
+// reduceDeadAtomics drops the destination of atomics whose fetched old
+// value is never read, turning ATOM into a no-return reduction (the RED
+// form real ptxas emits). Beyond saving a register, this matters for
+// determinism: an atomic's return value is whatever happened to be in
+// memory when the hardware sequenced it, so a dead fetch register would
+// carry scheduler-dependent bits to kernel exit — the difftest oracle's
+// engine-axis comparison flagged exactly that. CAS keeps its destination:
+// its result feeds retry loops and dropping it changes the idiom's shape.
+func reduceDeadAtomics(f *ptx.Func) {
+	st := collectStats(f)
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		if in.Op == ptx.OpAtom && in.Atom != sass.AtomCAS &&
+			in.Dst.Valid() && st.uses[in.Dst.ID()] == 0 {
+			in.Dst = ptx.Value{}
+		}
+	}
 }
 
 // deadCodeEliminate deletes pure instructions whose destinations are never

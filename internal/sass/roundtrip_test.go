@@ -1,0 +1,179 @@
+package sass
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// operandForms enumerates every operand form the ISA can express: each
+// OperandKind with its boundary encodings (RZ, PT, negated predicates,
+// negative immediates and offsets, every special register).
+func operandForms() []Operand {
+	forms := []Operand{
+		R(0), R(7), R(NumGPR - 1), R(RZ),
+		P(0), P(NumPred - 1), P(PT), NotP(2), NotP(PT),
+		Imm(0), Imm(1), Imm(-1), Imm(0x7fffffff), Imm(-0x80000000),
+		CMem(0, 0), CMem(3, 0x1fc),
+		Mem(0, 0), Mem(4, 16), Mem(RZ, -8), Mem(NumGPR-1, 0x7ff8),
+		Label("L0"), Label("reconverge"),
+		Sym("sassi_before_handler"),
+	}
+	for sr := SRLaneID; sr <= SRClock; sr++ {
+		forms = append(forms, SReg(sr))
+	}
+	return forms
+}
+
+// roundTrip marshals a kernel holding instrs and requires the decoded
+// kernel to be bit-identical.
+func roundTrip(t *testing.T, what string, instrs []Instruction) {
+	t.Helper()
+	k := &Kernel{Name: what, NumRegs: 32, Labels: map[string]int{"entry": 0}}
+	k.AddParam("p", 8)
+	k.Instrs = instrs
+	data, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", what, err)
+	}
+	var back Kernel
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatalf("%s: unmarshal: %v", what, err)
+	}
+	if len(back.Instrs) != len(instrs) {
+		t.Fatalf("%s: %d instrs decoded, want %d", what, len(back.Instrs), len(instrs))
+	}
+	for i := range instrs {
+		if !reflect.DeepEqual(instrs[i], back.Instrs[i]) {
+			t.Fatalf("%s: instr %d changed across encode/decode:\n  in:  %+v\n  out: %+v",
+				what, i, instrs[i], back.Instrs[i])
+		}
+	}
+	if !reflect.DeepEqual(k.Params, back.Params) || !reflect.DeepEqual(k.Labels, back.Labels) ||
+		k.NumRegs != back.NumRegs {
+		t.Fatalf("%s: kernel envelope changed across encode/decode", what)
+	}
+}
+
+// TestRoundTripEveryOpcodeOperandForm drives the binary encoding through
+// every opcode × operand-form combination, in both destination and source
+// position, and requires bit-exact decode. String() must also render every
+// combination without panicking (disassembly calls it on arbitrary input).
+func TestRoundTripEveryOpcodeOperandForm(t *testing.T) {
+	forms := operandForms()
+	for op := Opcode(0); op < Opcode(NumOpcodes()); op++ {
+		var instrs []Instruction
+		for _, f := range forms {
+			d := New(op, []Operand{f}, nil)
+			s := New(op, nil, []Operand{f})
+			instrs = append(instrs, d, s)
+			if got := d.String() + s.String(); got == "" {
+				t.Fatalf("%s: empty rendering", op)
+			}
+		}
+		roundTrip(t, fmt.Sprintf("op-%s", op), instrs)
+	}
+}
+
+// TestRoundTripOperandFormPairs crosses every dst form with every src form
+// on one representative opcode per operand-shape family, catching
+// encode/decode state leaking between adjacent operands.
+func TestRoundTripOperandFormPairs(t *testing.T) {
+	forms := operandForms()
+	for _, op := range []Opcode{OpIADD, OpLD, OpATOM, OpSHFL} {
+		var instrs []Instruction
+		for _, d := range forms {
+			for _, s := range forms {
+				instrs = append(instrs, New(op, []Operand{d}, []Operand{s, s}))
+			}
+		}
+		roundTrip(t, fmt.Sprintf("pairs-%s", op), instrs)
+	}
+}
+
+// TestRoundTripEveryModifier sweeps each modifier class exhaustively on
+// the opcodes that consume it, plus every guard form and flag combination.
+func TestRoundTripEveryModifier(t *testing.T) {
+	var instrs []Instruction
+
+	// ISETP/FSETP: comparison × combine logic × signedness.
+	for _, op := range []Opcode{OpISETP, OpFSETP} {
+		for cmp := CmpLT; cmp <= CmpNE; cmp++ {
+			for lg := LogicAND; lg <= LogicNOT; lg++ {
+				for _, uns := range []bool{false, true} {
+					in := New(op, []Operand{P(0), P(1)}, []Operand{R(2), R(3), P(PT)})
+					in.Mods.Cmp, in.Mods.Logic, in.Mods.Unsigned = cmp, lg, uns
+					instrs = append(instrs, in)
+				}
+			}
+		}
+	}
+	// LOP: every logic op.
+	for lg := LogicAND; lg <= LogicNOT; lg++ {
+		in := New(OpLOP, []Operand{R(0)}, []Operand{R(1), R(2)})
+		in.Mods.Logic = lg
+		instrs = append(instrs, in)
+	}
+	// Atomics: every atomic function × width, on all three opcodes.
+	for _, op := range []Opcode{OpATOM, OpATOMS, OpRED} {
+		for ao := AtomADD; ao <= AtomCAS; ao++ {
+			for _, wd := range []Width{0, W32, W64} {
+				in := New(op, []Operand{R(0)}, []Operand{Mem(2, 4), R(4), R(6)})
+				in.Mods.Atom, in.Mods.Width = ao, wd
+				instrs = append(instrs, in)
+			}
+		}
+	}
+	// MUFU: every special function.
+	for fn := MufuRCP; fn <= MufuLG2; fn++ {
+		in := New(OpMUFU, []Operand{R(0)}, []Operand{R(1)})
+		in.Mods.Mufu = fn
+		instrs = append(instrs, in)
+	}
+	// VOTE and SHFL: every mode.
+	for vm := VoteALL; vm <= VoteBALLOT; vm++ {
+		in := New(OpVOTE, []Operand{R(0)}, []Operand{P(1)})
+		in.Mods.Vote = vm
+		instrs = append(instrs, in)
+	}
+	for sm := ShflIDX; sm <= ShflBFLY; sm++ {
+		in := New(OpSHFL, []Operand{P(0), R(1)}, []Operand{R(2), R(3), R(4)})
+		in.Mods.Shfl = sm
+		instrs = append(instrs, in)
+	}
+	// Memory family: every width × extended addressing.
+	for _, op := range []Opcode{OpLD, OpST, OpLDG, OpSTG, OpLDL, OpSTL, OpLDS, OpSTS, OpLDC} {
+		for _, wd := range []Width{0, W8, W16, W32, W64, W128} {
+			for _, e := range []bool{false, true} {
+				in := New(op, []Operand{R(0)}, []Operand{Mem(2, 8), R(4)})
+				in.Mods.Width, in.Mods.E = wd, e
+				instrs = append(instrs, in)
+			}
+		}
+	}
+	// Arithmetic flags: every SetCC/X/NegB/Unsigned combination.
+	for mask := 0; mask < 16; mask++ {
+		in := New(OpIADD, []Operand{R(0)}, []Operand{R(1), R(2)})
+		in.Mods.SetCC = mask&1 != 0
+		in.Mods.X = mask&2 != 0
+		in.Mods.NegB = mask&4 != 0
+		in.Mods.Unsigned = mask&8 != 0
+		instrs = append(instrs, in)
+	}
+	// Guards: every predicate register, both polarities, plus Injected.
+	for reg := uint8(0); reg <= PT; reg++ {
+		for _, neg := range []bool{false, true} {
+			in := New(OpBRA, nil, []Operand{Label("L1")})
+			in.Guard = PredGuard{Reg: reg, Neg: neg}
+			in.Injected = reg%2 == 0
+			instrs = append(instrs, in)
+		}
+	}
+
+	roundTrip(t, "modifiers", instrs)
+	for i := range instrs {
+		if instrs[i].String() == "" {
+			t.Fatalf("instr %d renders empty", i)
+		}
+	}
+}

@@ -183,6 +183,13 @@ type Device struct {
 	// successive launches stack instead of overlapping.
 	Trace *obs.Tracer
 
+	// CTARetire, when non-nil, observes every CTA at retirement, after its
+	// last warp exits and before its state is discarded (the differential
+	// harness snapshots final register files, shared and local memory
+	// here). Called from SM goroutines, so implementations must tolerate
+	// concurrent calls; CTA.Index identifies the block deterministically.
+	CTARetire func(cta *CTA)
+
 	traceMu        sync.Mutex
 	traceNamed     bool
 	traceCycleBase uint64

@@ -355,6 +355,9 @@ func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes
 				continue
 			}
 			st.ctasRun++
+			if e.dev.CTARetire != nil {
+				e.dev.CTARetire(cta)
+			}
 			if tr != nil {
 				tr.Span(obs.PidDevice, sm, fmt.Sprintf("cta %d", cta.Index),
 					float64(e.cycleBase+cta.traceStart), float64(st.cycles-cta.traceStart), nil)

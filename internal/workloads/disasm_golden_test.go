@@ -1,0 +1,64 @@
+package workloads
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sassi/internal/ptxas"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestDisassemblyGolden pins the exact SASS the backend emits for three
+// representative workloads against checked-in golden files. Any change to
+// lowering, optimization passes, register allocation, or the disassembly
+// format shows up as a reviewable textual diff instead of a silent shift
+// in every downstream experiment (instruction counts, fault-injection
+// site numbering, overhead figures all key off this code).
+func TestDisassemblyGolden(t *testing.T) {
+	for _, name := range []string{"parboil.sgemm", "parboil.bfs", "parboil.stencil"} {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("workload %q not registered", name)
+			}
+			m, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ptxas.Compile(m, ptxas.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, k := range prog.Kernels {
+				b.WriteString(k.Disassemble())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			golden := filepath.Join("testdata", "golden",
+				strings.ReplaceAll(name, ".", "-")+".sass")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run DisassemblyGolden -update ./internal/workloads` to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("SASS for %s changed; diff against %s.\n"+
+					"If the change is intended, regenerate with -update.\n--- got ---\n%s",
+					name, golden, got)
+			}
+		})
+	}
+}

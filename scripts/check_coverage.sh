@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# check_coverage.sh — statement-coverage non-regression gate.
+#
+# Runs the full test suite with -coverprofile, extracts the total statement
+# coverage, and fails if it fell more than MARGIN percentage points below
+# the checked-in baseline (scripts/coverage_baseline.txt). A small margin
+# absorbs run-to-run noise from timing-dependent paths (worker pools,
+# parallel SM interleavings) without letting real regressions through.
+#
+# To ratchet the baseline up after adding tests:
+#   ./scripts/check_coverage.sh --update
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE_FILE=scripts/coverage_baseline.txt
+MARGIN=${MARGIN:-1.0}
+PROFILE=${PROFILE:-/tmp/sassi-cover.out}
+
+go test ./... -coverprofile="$PROFILE" -covermode=atomic >/dev/null
+
+total=$(go tool cover -func="$PROFILE" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+if [ -z "$total" ]; then
+    echo "check_coverage: could not extract total coverage" >&2
+    exit 2
+fi
+
+if [ "${1:-}" = "--update" ]; then
+    echo "$total" > "$BASELINE_FILE"
+    echo "check_coverage: baseline updated to ${total}%"
+    exit 0
+fi
+
+baseline=$(cat "$BASELINE_FILE")
+floor=$(awk -v b="$baseline" -v m="$MARGIN" 'BEGIN {printf "%.1f", b - m}')
+echo "check_coverage: total ${total}% (baseline ${baseline}%, floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN {exit !(t < f)}'; then
+    echo "check_coverage: FAIL — coverage fell below baseline-${MARGIN} floor" >&2
+    echo "If the drop is intentional, run ./scripts/check_coverage.sh --update" >&2
+    exit 1
+fi
