@@ -24,10 +24,10 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,table3,overhead")
+	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,cfi,table3,overhead")
 	gpu := flag.String("gpu", "k10", "device model: k10, k20, k40, mini")
-	injections := flag.Int("injections", 100, "fault injections per app for fig10 (paper: 1000)")
-	seed := flag.Uint64("seed", 2015, "campaign seed for fig10")
+	injections := flag.Int("injections", 100, "fault injections per app for fig10 and cfi (paper: 1000)")
+	seed := flag.Uint64("seed", 2015, "campaign seed for fig10 and cfi")
 	faithful := flag.Bool("faithful-handlers", false, "use the collective (goroutine-per-lane) handlers instead of the fast sequential ones")
 	apps := flag.String("apps", "", "comma list restricting table2/table3/fig10 to specific workloads")
 	workers := flag.Int("workers", 0, "concurrent fig10 injection runs (0 = GOMAXPROCS); results are identical at any value")
@@ -128,6 +128,13 @@ func main() {
 			return "", err
 		}
 		return experiments.FormatFigure10(rows), nil
+	})
+	step("cfi", func() (string, error) {
+		rows, err := experiments.CFICoverage(env, appList, *injections, *seed)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatCFICoverage(rows), nil
 	})
 	step("table3", func() (string, error) {
 		rows, err := experiments.Table3(env, appList)

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sassi/internal/workloads"
+)
+
+// TestCFIMutantsRejected: every CFI seed mutant must be rejected with both
+// a static error and a dynamic (load-time or runtime) violation.
+func TestCFIMutantsRejected(t *testing.T) {
+	for _, name := range workloads.MutantNames() {
+		if !strings.HasPrefix(name, "mutant.cfi-") {
+			continue // shared-race mutants; sassi-racecheck owns their rejection
+		}
+		t.Run(name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run([]string{name}, &out, &errb); code != 1 {
+				t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+			}
+			if !strings.Contains(out.String(), "static: ") {
+				t.Errorf("no static report:\n%s", out.String())
+			}
+			if !strings.Contains(out.String(), "dynamic: ") {
+				t.Errorf("no dynamic report:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestCFICleanWorkloads: the call-tree demo and a compiled built-in pass
+// both phases silently.
+func TestCFICleanWorkloads(t *testing.T) {
+	for _, name := range []string{"demo.calltree", "demo.vecadd"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{name}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d, want 0\nstdout: %s\nstderr: %s",
+				name, code, out.String(), errb.String())
+		}
+		if !strings.Contains(out.String(), "clean") {
+			t.Errorf("%s: missing clean verdict:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestCFICampaign: a small campaign on the call-tree demo meets the
+// detection floor with zero false positives.
+func TestCFICampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-campaign", "25", "-assert-detect", "0.95", "demo.calltree"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "false positives on the uncorrupted run: 0") {
+		t.Errorf("missing false-positive line:\n%s", out.String())
+	}
+}
+
+// TestCFIUsage: unknown workloads and missing arguments are usage errors,
+// and -list names the CFI mutants.
+func TestCFIUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"no.such.workload"}, &out, &errb); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Errorf("-list: exit %d, want 0", code)
+	}
+	for _, name := range []string{"demo.calltree", "mutant.cfi-ret-nocall", "mutant.cfi-cal-midblock", "mutant.cfi-ssy-skew"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

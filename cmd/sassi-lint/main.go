@@ -8,7 +8,8 @@
 // -instrument, each compiled program is additionally instrumented with a
 // representative configuration and the instrumentation-safety checks run
 // over the result. -checks restricts reporting to a comma-separated list
-// of check classes; -Werror makes warnings fail the run, which is how CI
+// of check classes (unknown names are usage errors; -list-checks prints
+// the known set); -Werror makes warnings fail the run, which is how CI
 // gates the concurrency checks (warnings by design, so compiles still
 // succeed) over the built-in suite.
 //
@@ -16,7 +17,8 @@
 //
 //	sassi-lint examples/ptxasm/squares.sptx
 //	sassi-lint -workloads -instrument
-//	sassi-lint -Werror -checks barrier-divergence,shared-race -workloads
+//	sassi-lint -Werror -checks barrier-divergence,shared-race,cfi -workloads
+//	sassi-lint -list-checks
 //
 // Diagnostics print one per line in a deterministic order; the exit
 // status is 1 if any error-severity finding was reported (or any finding
@@ -32,6 +34,7 @@ import (
 	"strings"
 
 	"sassi/internal/analysis"
+	_ "sassi/internal/analysis/cfi"         // register the cfi check
 	_ "sassi/internal/analysis/concurrency" // register barrier-divergence and shared-race
 	"sassi/internal/ptx"
 	"sassi/internal/ptxas"
@@ -54,20 +57,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	instrument := fs.Bool("instrument", false, "also instrument each program and check the result")
 	werror := fs.Bool("Werror", false, "treat warnings as errors for the exit status")
 	checks := fs.String("checks", "", "comma-separated check classes to report (default: all)")
+	listChecks := fs.Bool("list-checks", false, "list the known check classes and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *listChecks {
+		for _, c := range analysis.KnownChecks() {
+			fmt.Fprintln(stdout, c)
+		}
+		return 0
+	}
 
 	if !*lintWorkloads && !*lintMutants && fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: sassi-lint [-Werror] [-checks list] [-instrument] [-workloads] [-mutants] [file.sptx|file.sasskrn ...]")
+		fmt.Fprintln(stderr, "usage: sassi-lint [-Werror] [-checks list] [-list-checks] [-instrument] [-workloads] [-mutants] [file.sptx|file.sasskrn ...]")
 		return 2
 	}
 
 	l := &linter{instrument: *instrument, stdout: stdout, stderr: stderr}
 	if *checks != "" {
+		known := map[string]bool{}
+		for _, c := range analysis.KnownChecks() {
+			known[c] = true
+		}
 		l.filter = map[string]bool{}
 		for _, c := range strings.Split(*checks, ",") {
-			l.filter[strings.TrimSpace(c)] = true
+			c = strings.TrimSpace(c)
+			if !known[c] {
+				fmt.Fprintf(stderr, "sassi-lint: unknown check %q (known: %s)\n",
+					c, strings.Join(analysis.KnownChecks(), ", "))
+				return 2
+			}
+			l.filter[c] = true
 		}
 	}
 	if *lintWorkloads {

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -61,5 +62,48 @@ func TestLintUsage(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {
 		t.Errorf("no-arg run: exit %d, want 2", code)
+	}
+}
+
+// TestLintChecksValidation pins the -checks contract: unknown check names
+// are usage errors naming the known set, -list-checks enumerates it (cfi
+// included), and the CFI mutants fail the lint under the cfi check.
+func TestLintChecksValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "no-such-check", "-workloads"}, &out, &errb); code != 2 {
+		t.Errorf("unknown check: exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "cfi") {
+		t.Errorf("unknown-check error does not name the known checks:\n%s", errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-list-checks"}, &out, &errb); code != 0 {
+		t.Errorf("-list-checks: exit %d, want 0", code)
+	}
+	for _, c := range []string{"cfi", "barrier-divergence", "shared-race"} {
+		if !strings.Contains(out.String(), c) {
+			t.Errorf("-list-checks output missing %q:\n%s", c, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-checks", "cfi", "-mutants"}, &out, &errb); code != 1 {
+		t.Errorf("cfi check over mutants: exit %d, want 1\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "cfi") {
+		t.Errorf("no cfi diagnostics over the CFI mutants:\n%s", out.String())
+	}
+
+	// The clean built-in suite stays green under the cfi gate — the exact
+	// command CI runs.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-Werror", "-checks", "cfi", "-workloads"}, &out, &errb); code != 0 {
+		t.Errorf("-Werror -checks cfi over built-ins: exit %d, want 0\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
 	}
 }

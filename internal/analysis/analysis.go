@@ -63,6 +63,10 @@ const (
 	// internal/analysis/concurrency (import it for the side effect).
 	CheckBarrier    = "barrier-divergence"
 	CheckSharedRace = "shared-race"
+	// CheckCFI is registered by internal/analysis/cfi (import it for the
+	// side effect): legal-target sets for CAL/RET and SSY/SYNC
+	// reconvergence.
+	CheckCFI = "cfi"
 )
 
 // Diagnostic is one verifier finding, positioned at a kernel and (usually)
@@ -222,6 +226,21 @@ func RegisteredChecks() []string {
 	for i, c := range kernelChecks {
 		out[i] = c.name
 	}
+	return out
+}
+
+// KnownChecks lists every check class a diagnostic can carry — the full
+// Check* catalogue. Registered kernel-check names are registry keys, not
+// diagnostic classes (concurrency registers once and emits two classes),
+// so they are deliberately not included. Tools that accept a check filter
+// (sassi-lint -checks) validate names against this list.
+func KnownChecks() []string {
+	out := []string{
+		CheckStructural, CheckDivergence, CheckDefAssign,
+		CheckRoundTrip, CheckInstrSafety,
+		CheckBarrier, CheckSharedRace, CheckCFI,
+	}
+	sort.Strings(out)
 	return out
 }
 

@@ -545,6 +545,14 @@ func BlockLiveness(cfg *sass.CFG) *LiveSets {
 		// live = (live − kill_i) ∪ use_i composed bottom-up.
 		for i := blk.End - 1; i >= blk.Start; i-- {
 			in := &cfg.Kernel.Instrs[i]
+			if in.Op == sass.OpCAL || in.Op == sass.OpRET {
+				// No call edges in the CFG: the callee (CAL) or the return
+				// continuation (RET) may read anything. Mirrors the same
+				// rule in sass.ComputeLiveness.
+				for k := 0; k < regSpaceBits; k++ {
+					gen[b].Set(k)
+				}
+			}
 			defs, uncond := instrDefs(in)
 			if uncond {
 				for _, d := range defs {

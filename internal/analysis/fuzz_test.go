@@ -58,6 +58,42 @@ func fuzzBarrierKernel(t testing.TB) *sass.Kernel {
 	return k
 }
 
+// fuzzCallTreeKernel seeds the fuzzer with the control shapes the CFI pass
+// cares about: a CAL/RET pair, a JCAL to an external symbol, and a nested
+// SSY/SYNC region (outer parity split, inner split on the called side).
+func fuzzCallTreeKernel(t testing.TB) *sass.Kernel {
+	k := &sass.Kernel{
+		Name: "fuzzcall", NumRegs: 8, NumPreds: 2,
+		Labels: map[string]int{"oinner": 7, "ojoin": 9, "fn": 11, "finner": 16, "fjoin": 18},
+		Instrs: []sass.Instruction{
+			sass.New(sass.OpS2R, []sass.Operand{sass.R(2)}, []sass.Operand{sass.SReg(sass.SRTidX)}),
+			sass.New(sass.OpCAL, nil, []sass.Operand{sass.Label("fn")}),
+			sass.New(sass.OpJCAL, nil, []sass.Operand{sass.Sym("sassi_fuzz_handler")}),
+			sass.New(sass.OpISETP, []sass.Operand{sass.P(0)}, []sass.Operand{sass.R(2), sass.Imm(1), sass.P(sass.PT)}),
+			sass.New(sass.OpSSY, nil, []sass.Operand{sass.Label("ojoin")}),
+			sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("oinner")}).WithGuard(sass.PredGuard{Reg: 0}),
+			sass.New(sass.OpSYNC, nil, nil),
+			sass.New(sass.OpIADD, []sass.Operand{sass.R(3)}, []sass.Operand{sass.R(2), sass.Imm(1)}),
+			sass.New(sass.OpSYNC, nil, nil),
+			sass.New(sass.OpEXIT, nil, nil),
+			sass.New(sass.OpEXIT, nil, nil),
+			// fn: nested divergence inside the callee
+			sass.New(sass.OpISETP, []sass.Operand{sass.P(0)}, []sass.Operand{sass.R(2), sass.Imm(2), sass.P(sass.PT)}),
+			sass.New(sass.OpSSY, nil, []sass.Operand{sass.Label("fjoin")}),
+			sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("finner")}).WithGuard(sass.PredGuard{Reg: 0}),
+			sass.New(sass.OpIADD, []sass.Operand{sass.R(3)}, []sass.Operand{sass.R(2), sass.Imm(2)}),
+			sass.New(sass.OpSYNC, nil, nil),
+			sass.New(sass.OpIADD, []sass.Operand{sass.R(3)}, []sass.Operand{sass.R(2), sass.Imm(3)}),
+			sass.New(sass.OpSYNC, nil, nil),
+			sass.New(sass.OpRET, nil, nil),
+		},
+	}
+	if err := k.ResolveLabels(); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
 // FuzzVerify feeds mutated kernel encodings through the decoder and the
 // full verifier: whatever bytes arrive, the pipeline must diagnose, never
 // panic. This is the robustness contract sassi-lint relies on for
@@ -73,6 +109,11 @@ func FuzzVerify(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(barSeed)
+	callSeed, err := fuzzCallTreeKernel(f).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(callSeed)
 	// Hand-corrupted variants steer the fuzzer at interesting boundaries.
 	truncated := append([]byte(nil), seed[:len(seed)/2]...)
 	f.Add(truncated)

@@ -32,6 +32,11 @@ type Ctx struct {
 // Dev returns the device the kernel is running on.
 func (c *Ctx) Dev() *sim.Device { return c.dev }
 
+// Warp returns the warp this lane belongs to. Handlers that audit or
+// corrupt warp control state (CFI checking, control-state fault
+// injection) use it to reach the call and divergence stacks.
+func (c *Ctx) Warp() *sim.Warp { return c.w }
+
 // Thread returns the simulated thread (architectural state access).
 func (c *Ctx) Thread() *sim.Thread { return c.t }
 

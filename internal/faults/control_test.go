@@ -1,0 +1,106 @@
+package faults_test
+
+import (
+	"testing"
+
+	"sassi/internal/faults"
+	"sassi/internal/handlers"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// TestControlCampaignCallTree runs a control-state corruption campaign on
+// the call-tree demo and pins the CFI contract: zero false positives on
+// the uncorrupted profiling run, every run classified, and the
+// return-address class detected at >= 95%.
+func TestControlCampaignCallTree(t *testing.T) {
+	spec, ok := workloads.Get("demo.calltree")
+	if !ok {
+		t.Fatal("demo.calltree not registered")
+	}
+	cfg := sim.MiniGPU()
+	cfg.SequentialSMs = true
+	c := &faults.ControlCampaign{
+		Spec: spec, Dataset: "small",
+		Injections: 40, Seed: 11, Config: cfg,
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.FalsePositives != 0 {
+		t.Errorf("false positives on the uncorrupted run: %d", res.FalsePositives)
+	}
+	if res.Total != 40 {
+		t.Fatalf("total = %d, want 40", res.Total)
+	}
+	sum := 0
+	for cl := 0; cl < int(handlers.NumCtrlClasses); cl++ {
+		class := handlers.CtrlClass(cl)
+		for o := 0; o < faults.NumCtrlOutcomes; o++ {
+			sum += res.Counts[cl][o]
+		}
+		t.Logf("%-12s sites=%-4d runs=%-3d detected=%.0f%%",
+			class, res.Sites[cl], res.ClassTotals[cl], 100*res.DetectionRate(class))
+	}
+	if sum != res.Total {
+		t.Fatalf("outcome counts sum %d != total %d", sum, res.Total)
+	}
+	// The call tree qualifies every class (calls, divergence, any-site).
+	for cl := 0; cl < int(handlers.NumCtrlClasses); cl++ {
+		if res.Sites[cl] == 0 {
+			t.Errorf("class %s profiled no qualifying sites", handlers.CtrlClass(cl))
+		}
+	}
+	if n := res.ClassTotals[handlers.CtrlRetBitFlip]; n > 0 {
+		if rate := res.DetectionRate(handlers.CtrlRetBitFlip); rate < 0.95 {
+			t.Errorf("ret-addr detection %.0f%% < 95%%", 100*rate)
+		}
+	} else {
+		t.Error("no ret-addr runs drawn across 40 injections")
+	}
+}
+
+// TestControlCampaignWorkerInvariance: outcome counts must be identical at
+// any worker count (per-run RNGs derive from (seed, run index)).
+func TestControlCampaignWorkerInvariance(t *testing.T) {
+	spec, ok := workloads.Get("demo.calltree")
+	if !ok {
+		t.Fatal("demo.calltree not registered")
+	}
+	cfg := sim.MiniGPU()
+	cfg.SequentialSMs = true
+	run := func(workers int) *faults.ControlResult {
+		c := &faults.ControlCampaign{
+			Spec: spec, Dataset: "small",
+			Injections: 12, Seed: 3, Config: cfg, Workers: workers,
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatalf("campaign (workers=%d): %v", workers, err)
+		}
+		return res
+	}
+	a, b := run(1), run(4)
+	if a.Counts != b.Counts {
+		t.Errorf("outcome counts differ across worker counts:\n 1: %v\n 4: %v", a.Counts, b.Counts)
+	}
+}
+
+// TestControlCampaignNoSites: a workload with no call tree still qualifies
+// the forged-call class (any site), but restricting the campaign to
+// call-stack classes must fail cleanly.
+func TestControlCampaignNoSites(t *testing.T) {
+	spec, ok := workloads.Get("demo.vecadd")
+	if !ok {
+		t.Fatal("demo.vecadd not registered")
+	}
+	c := &faults.ControlCampaign{
+		Spec: spec, Dataset: "small",
+		Injections: 2, Seed: 1, Config: sim.MiniGPU(),
+		Classes: []handlers.CtrlClass{handlers.CtrlRetBitFlip},
+	}
+	if _, err := c.Run(); err == nil {
+		t.Error("expected an error for a class with no qualifying sites")
+	}
+}

@@ -273,6 +273,21 @@ func ComputeLiveness(cfg *CFG) *LiveInfo {
 					ccout = ccout || li.CCLiveIn[sb.Start]
 				}
 			}
+			// The CFG carries no call edges, so at a CAL (the callee may
+			// read anything) and a RET (the return continuation is unknown)
+			// everything must be treated as live. Only hand-authored call
+			// trees contain these ops; compiled kernels are unaffected.
+			if b.End > b.Start {
+				switch k.Instrs[b.End-1].Op {
+				case OpCAL, OpRET:
+					for w := range out {
+						out[w] = ^uint64(0)
+					}
+					out.Remove(RZ)
+					pout = PredSet(0x7f)
+					ccout = true
+				}
+			}
 			blockOut[bi] = out
 			blockPredOut[bi] = pout
 			blockCCOut[bi] = ccout

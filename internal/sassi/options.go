@@ -45,6 +45,11 @@ const (
 	KernelExit
 	// BBHeaders injects at every basic block head.
 	BBHeaders
+	// BeforeSSY injects before SSY instructions. SSY is not a control
+	// transfer (it only pushes a reconvergence token), so BeforeControlXfer
+	// does not cover it; control-state auditors (the CFI checker) need a
+	// site there to model the divergence stack.
+	BeforeSSY
 )
 
 // What selects the extra parameter object passed to the handler alongside
@@ -161,6 +166,8 @@ func (o *Options) beforeSite(in *sass.Instruction) bool {
 	case w&BeforeRegReads != 0 && len(in.GPRSrcs()) > 0:
 		return true
 	case w&KernelExit != 0 && in.Op == sass.OpEXIT:
+		return true
+	case w&BeforeSSY != 0 && in.Op == sass.OpSSY:
 		return true
 	}
 	return false

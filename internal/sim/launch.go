@@ -274,6 +274,7 @@ func (e *engine) buildCTA(ctaIdx int, grid, block Dim3, numRegs, localBytes, sha
 		Index: ctaIdx, CtaX: cx, CtaY: cy, CtaZ: cz,
 		Shared: mem.NewShared(sharedBytes),
 		SM:     sm,
+		Kernel: e.k,
 	}
 	threads := block.Count()
 	numWarps := (threads + WarpSize - 1) / WarpSize

@@ -4,6 +4,7 @@ import (
 	"math/bits"
 
 	"sassi/internal/mem"
+	"sassi/internal/sass"
 )
 
 // divKind distinguishes divergence-stack entry types.
@@ -93,6 +94,48 @@ func (w *Warp) popToNonEmpty() bool {
 	return !w.Done && w.Active != 0
 }
 
+// DivFrame is the exported view of one divergence-stack entry, used by
+// instrumentation handlers that audit warp control state (the CFI checker)
+// and by the control-state fault injector.
+type DivFrame struct {
+	// SSY marks a reconvergence token (pushed by SSY); false marks a
+	// deferred alternate path pushed by a divergent branch.
+	SSY  bool
+	PC   int
+	Mask uint32
+}
+
+// DivDepth returns the divergence-stack depth.
+func (w *Warp) DivDepth() int { return len(w.Stack) }
+
+// DivFrameAt returns divergence-stack entry i (0 is the bottom).
+func (w *Warp) DivFrameAt(i int) DivFrame {
+	e := w.Stack[i]
+	return DivFrame{SSY: e.kind == divSSY, PC: e.pc, Mask: e.mask}
+}
+
+// SetDivFramePC overwrites the resume PC of divergence-stack entry i —
+// fault-injection only.
+func (w *Warp) SetDivFramePC(i, pc int) { w.Stack[i].pc = pc }
+
+// SetDivFrameMask overwrites the lane mask of divergence-stack entry i —
+// fault-injection only.
+func (w *Warp) SetDivFrameMask(i int, mask uint32) { w.Stack[i].mask = mask }
+
+// CallDepth returns the call-stack depth.
+func (w *Warp) CallDepth() int { return len(w.CallStack) }
+
+// ReturnAddr returns call-stack entry i (0 is the bottom, i.e. the
+// outermost frame's return address).
+func (w *Warp) ReturnAddr(i int) int { return w.CallStack[i] }
+
+// SetReturnAddr overwrites call-stack entry i — fault-injection only.
+func (w *Warp) SetReturnAddr(i, pc int) { w.CallStack[i] = pc }
+
+// PushReturnAddr pushes a forged frame onto the call stack —
+// fault-injection only (models a spurious/rewritten call).
+func (w *Warp) PushReturnAddr(pc int) { w.CallStack = append(w.CallStack, pc) }
+
 // CTA is one cooperative thread array (thread block) resident on an SM.
 type CTA struct {
 	Index            int // flat CTA index within the grid
@@ -100,6 +143,9 @@ type CTA struct {
 	Shared           *mem.Shared
 	Warps            []*Warp
 	SM               int
+	// Kernel is the (possibly instrumented) kernel this CTA executes —
+	// handlers that keep per-kernel shadow state key off it.
+	Kernel *sass.Kernel
 
 	barrierGen int
 	// traceStart is the SM-cycle count when the CTA became resident (used

@@ -45,6 +45,81 @@ func init() {
 	registerMutant(sgemmVariant("mutant.sgemm-nobar", false))
 	registerMutant(stencilHaloMutant())
 	registerMutant(bfsFrontierMutant())
+	registerMutant(cfiRetNoCallMutant())
+	registerMutant(cfiCalMidBlockMutant())
+	registerMutant(cfiSSYSkewMutant())
+}
+
+// cfiMutant derives a control-flow-integrity mutant from the calltree
+// workload: the clean kernel compiles (and passes the Verify gate), then
+// PostCompile corrupts one control instruction. The static cfi pass must
+// reject the result, and the runtime CFIChecker must flag the same class
+// during execution.
+func cfiMutant(name string, mutate func(k *sass.Kernel) error) *Spec {
+	s := callTreeSpec()
+	s.Name = name
+	s.PostCompile = func(prog *sass.Program) error {
+		k, ok := prog.Kernel("calltree")
+		if !ok {
+			return fmt.Errorf("calltree kernel missing")
+		}
+		return mutate(k)
+	}
+	return s
+}
+
+// expectOp guards a mutant's hardcoded instruction index against drift in
+// the hand-authored calltree kernel.
+func expectOp(k *sass.Kernel, i int, op sass.Opcode) error {
+	if i >= len(k.Instrs) || k.Instrs[i].Op != op {
+		return fmt.Errorf("calltree layout changed: instr %d is not %v", i, op)
+	}
+	return nil
+}
+
+// cfiRetNoCallMutant replaces the entry's final store with a RET: the
+// return executes with an empty call stack (the matching CAL already
+// popped). Statically that is "RET reachable with an empty call stack";
+// dynamically the CFIChecker reports ret-underflow before the machine
+// faults.
+func cfiRetNoCallMutant() *Spec {
+	return cfiMutant("mutant.cfi-ret-nocall", func(k *sass.Kernel) error {
+		if err := expectOp(k, 16, sass.OpSTG); err != nil {
+			return err
+		}
+		k.Instrs[16] = sass.New(sass.OpRET, nil, nil)
+		return nil
+	})
+}
+
+// cfiCalMidBlockMutant retargets the entry's CAL into the middle of fn1,
+// past its first instructions: a call into the interior of a region. The
+// static pass rejects it (mid-region entry, fn2's RET no longer reachable
+// from any call), and the CFI loader's fail-closed validation refuses to
+// arm the kernel.
+func cfiCalMidBlockMutant() *Spec {
+	return cfiMutant("mutant.cfi-cal-midblock", func(k *sass.Kernel) error {
+		if err := expectOp(k, 12, sass.OpCAL); err != nil {
+			return err
+		}
+		k.Instrs[12].Srcs[0].Imm = 20 // skips fn1's CAL fn2 and LOP
+		return nil
+	})
+}
+
+// cfiSSYSkewMutant drags fn1's SSY reconvergence target from the RET back
+// onto the odd arm's SYNC, inside its own region: after reconvergence the
+// warp replays that SYNC on an empty divergence stack and silently
+// retires. Statically the SYNC loses its enclosing region; dynamically the
+// CFIChecker reports sync-underflow.
+func cfiSSYSkewMutant() *Spec {
+	return cfiMutant("mutant.cfi-ssy-skew", func(k *sass.Kernel) error {
+		if err := expectOp(k, 21, sass.OpSSY); err != nil {
+			return err
+		}
+		k.Instrs[21].Srcs[0].Imm = 26 // the odd arm's SYNC, not the reconv point
+		return nil
+	})
 }
 
 // stencilHaloMutant is a 1-D three-point stencil whose barrier between

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sassi/internal/analysis"
 	"sassi/internal/cuda"
 	"sassi/internal/ptx"
 	"sassi/internal/ptxas"
@@ -40,6 +41,17 @@ type Spec struct {
 	Datasets []string
 	// Build constructs the workload's kernels.
 	Build func() (*ptx.Module, error)
+	// BuildProgram, when set, takes precedence over Build: the workload is
+	// authored directly in SASS rather than lowered through ptx/ptxas.
+	// Needed for shapes the PTX builder never emits (CAL/RET call trees).
+	// The program still passes through the ptxas verification gate.
+	BuildProgram func() (*sass.Program, error)
+	// PostCompile, when set, mutates the program after compilation and
+	// verification. Seed-buggy mutants use it to corrupt a clean kernel —
+	// the corruption lands after the compile-time Verify gate, so the
+	// static checkers under test (sassi-lint, load-time CFI validation)
+	// are the first line that can reject it.
+	PostCompile func(prog *sass.Program) error
 	// Run generates inputs for the dataset, launches kernels on ctx with
 	// the given compiled program, verifies against the CPU reference, and
 	// returns the result. It must be deterministic.
@@ -94,15 +106,38 @@ func (s *Spec) HasDataset(d string) bool {
 	return false
 }
 
-// Compile builds and compiles the workload's module.
+// Compile builds and compiles the workload's module. SASS-authored
+// workloads (BuildProgram) skip ptxas lowering but pass the same
+// verification gate; PostCompile runs last, after that gate.
 func (s *Spec) Compile(opts ptxas.Options) (*sass.Program, error) {
-	m, err := s.Build()
-	if err != nil {
-		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	var prog *sass.Program
+	if s.BuildProgram != nil {
+		p, err := s.BuildProgram()
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+		}
+		if opts.Verify.Enabled() {
+			if diags := analysis.Verify(p); analysis.HasErrors(diags) {
+				return nil, fmt.Errorf("workload %s: authored SASS failed verification: %w",
+					s.Name, &analysis.VerifyError{Diags: diags})
+			}
+		}
+		prog = p
+	} else {
+		m, err := s.Build()
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+		}
+		p, err := ptxas.Compile(m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+		}
+		prog = p
 	}
-	prog, err := ptxas.Compile(m, opts)
-	if err != nil {
-		return nil, fmt.Errorf("workload %s: %w", s.Name, err)
+	if s.PostCompile != nil {
+		if err := s.PostCompile(prog); err != nil {
+			return nil, fmt.Errorf("workload %s: post-compile: %w", s.Name, err)
+		}
 	}
 	return prog, nil
 }
