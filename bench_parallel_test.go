@@ -43,6 +43,30 @@ func parallelBenchLaunch(tb testing.TB, sequential bool) {
 	}
 }
 
+// parallelBenchSched runs sgemm(medium) compiled with or without the
+// post-RA list scheduler. Scheduling shrinks simulated cycles, and since
+// the interpreter's wall time tracks issued cycles, the delta shows up as
+// host throughput too — recorded so sched gains stay separable from
+// engine noise when re-baselining.
+func parallelBenchSched(tb testing.TB, schedule bool) {
+	spec, ok := workloads.Get("parboil.sgemm")
+	if !ok {
+		tb.Fatal("sgemm not registered")
+	}
+	prog, err := spec.Compile(ptxas.Options{Schedule: schedule})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := cuda.NewContext(sim.KeplerK10())
+	res, err := spec.Run(ctx, prog, "medium")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		tb.Fatal(res.VerifyErr)
+	}
+}
+
 // parallelBenchCampaign runs a small vecadd fault campaign at the given
 // worker count.
 func parallelBenchCampaign(tb testing.TB, workers int) {
@@ -72,6 +96,16 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	b.Run("sms=parallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			parallelBenchLaunch(b, false)
+		}
+	})
+	b.Run("sched=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallelBenchSched(b, false)
+		}
+	})
+	b.Run("sched=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallelBenchSched(b, true)
 		}
 	})
 	b.Run("campaign-workers=1", func(b *testing.B) {
@@ -129,12 +163,15 @@ func TestWriteBenchParallelJSON(t *testing.T) {
 	r.Seconds = map[string]float64{
 		"launch_sms_sequential": timeIt(func() { parallelBenchLaunch(t, true) }),
 		"launch_sms_parallel":   timeIt(func() { parallelBenchLaunch(t, false) }),
+		"launch_sched_off":      timeIt(func() { parallelBenchSched(t, false) }),
+		"launch_sched_on":       timeIt(func() { parallelBenchSched(t, true) }),
 		"campaign_workers_1":    timeIt(func() { parallelBenchCampaign(t, 1) }),
 		"campaign_workers_ncpu": timeIt(func() { parallelBenchCampaign(t, runtime.NumCPU()) }),
 	}
 	r.Speedup = map[string]float64{
 		"sms":      r.Seconds["launch_sms_sequential"] / r.Seconds["launch_sms_parallel"],
 		"campaign": r.Seconds["campaign_workers_1"] / r.Seconds["campaign_workers_ncpu"],
+		"sched":    r.Seconds["launch_sched_off"] / r.Seconds["launch_sched_on"],
 	}
 	if r.Host.NumCPU <= 1 {
 		r.Note = "single-core host: concurrent paths run but cannot speed up; " +

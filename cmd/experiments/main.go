@@ -24,13 +24,14 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,cfi,table3,overhead")
+	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,cfi,table3,overhead,sched")
 	gpu := flag.String("gpu", "k10", "device model: k10, k20, k40, mini")
 	injections := flag.Int("injections", 100, "fault injections per app for fig10 and cfi (paper: 1000)")
 	seed := flag.Uint64("seed", 2015, "campaign seed for fig10 and cfi")
 	faithful := flag.Bool("faithful-handlers", false, "use the collective (goroutine-per-lane) handlers instead of the fast sequential ones")
 	apps := flag.String("apps", "", "comma list restricting table2/table3/fig10 to specific workloads")
-	workers := flag.Int("workers", 0, "concurrent fig10 injection runs (0 = GOMAXPROCS); results are identical at any value")
+	workers := flag.Int("workers", 0, "concurrent fig10 injection / sched candidate runs (0 = GOMAXPROCS); results are identical at any value")
+	candidates := flag.Int("candidates", 8, "schedule candidates per app for sched (seed 0 heuristic + jittered tie-breaks)")
 	obsFlags := obscli.Register()
 	flag.Parse()
 
@@ -143,6 +144,17 @@ func main() {
 		}
 		return experiments.FormatTable3(rows), nil
 	})
+	// Not part of "all": the schedule autotuner is an on-demand report
+	// (it compiles candidate-count variants of every app).
+	if want["sched"] {
+		step("sched", func() (string, error) {
+			rows, err := experiments.SchedTable(env, appList, *candidates, *seed)
+			if err != nil {
+				return "", err
+			}
+			return experiments.FormatSchedTable(rows), nil
+		})
+	}
 	// Not part of "all": the overhead breakdown is an on-demand report.
 	if want["overhead"] {
 		step("overhead", func() (string, error) {

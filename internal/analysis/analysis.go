@@ -67,6 +67,11 @@ const (
 	// side effect): legal-target sets for CAL/RET and SSY/SYNC
 	// reconvergence.
 	CheckCFI = "cfi"
+	// CheckSchedule is registered by internal/analysis/deps (import it
+	// for the side effect): certifies that a scheduler-reordered kernel
+	// (sass.Kernel.SchedOrig) is a topological order of the dependence
+	// DAG of the reconstructed original, fences respected.
+	CheckSchedule = "schedule"
 )
 
 // Diagnostic is one verifier finding, positioned at a kernel and (usually)
@@ -238,7 +243,7 @@ func KnownChecks() []string {
 	out := []string{
 		CheckStructural, CheckDivergence, CheckDefAssign,
 		CheckRoundTrip, CheckInstrSafety,
-		CheckBarrier, CheckSharedRace, CheckCFI,
+		CheckBarrier, CheckSharedRace, CheckCFI, CheckSchedule,
 	}
 	sort.Strings(out)
 	return out

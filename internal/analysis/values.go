@@ -999,6 +999,50 @@ func DisjointAcrossThreads(a Value, wa int, b Value, wb int, dims BlockDims) boo
 	return injectiveOverThreads(a, w, dims)
 }
 
+// DisjointSameThread proves, if it can, that the byte ranges [a, a+wa)
+// and [b, b+wb), computed by the *same* thread, never overlap. It is the
+// same-thread companion of DisjointAcrossThreads: the instruction
+// scheduler may swap two memory accesses of one thread only when they are
+// disjoint for every thread pair, including t1 == t2 — which
+// DisjointAcrossThreads deliberately excludes. CTA-uniform symbols cancel
+// when their coefficients match; the remaining difference
+// D(t) = dc + Σ (a_t − b_t)·t_t is interval-tested over one shared thread
+// index. A false return means "not proven", never "they overlap".
+func DisjointSameThread(a Value, wa int, b Value, wb int, dims BlockDims) bool {
+	if !a.Known || !b.Known || wa <= 0 || wb <= 0 {
+		return false
+	}
+	for s, c := range a.Syms {
+		if b.Syms[s] != c {
+			return false
+		}
+	}
+	for s, c := range b.Syms {
+		if a.Syms[s] != c {
+			return false
+		}
+	}
+	dc := a.Const - b.Const
+	if a.Tid == b.Tid {
+		// Tid terms cancel for a shared thread index: D is constant.
+		return dc >= int64(wb) || dc <= -int64(wa)
+	}
+	if !dims.Valid() {
+		return false
+	}
+	lo, hi := dc, dc
+	for t := Term(0); t < NumTerms; t++ {
+		c := a.Tid[t] - b.Tid[t]
+		span := int64(dims.extent(t) - 1)
+		if c >= 0 {
+			hi += c * span
+		} else {
+			lo += c * span
+		}
+	}
+	return lo >= int64(wb) || hi <= -int64(wa)
+}
+
 // injectiveOverThreads proves, if it can, that the affine form v evaluated
 // at two *distinct* thread indices of a CTA shaped dims always yields
 // values at least w apart. Requires every multi-extent dimension to

@@ -125,6 +125,70 @@ func (o *Oracle) Run(p *Prog) (*Result, error) {
 // lastSeq threads the per-tool sequential run to its parallel sibling.
 // Oracles are single-goroutine; campaign workers each own an Oracle.
 
+// RunSchedule extends the matrix with the scheduling axis: the same
+// source compiled with the post-RA list scheduler (ptxas
+// Options.Schedule, tie-broken by schedSeed) must retire with bit-equal
+// architectural state — every buffer, register, predicate, and memory
+// space — on both engines; only timing may move. The scheduled build also
+// passes through the compile-time verifier (the `schedule` check) under
+// go test, so an illegal reorder fails compilation before it ever runs.
+//
+//	base/seq ──arch── sched/seq         (schedule transparency)
+//	base/seq ──arch── sched/par         (… independent of engine)
+//	sched/seq ─full── sched/par         (engine determinism, scheduled)
+func (o *Oracle) RunSchedule(p *Prog, schedSeed uint64) (*Result, error) {
+	fp, err := o.fingerprint(p)
+	if err != nil {
+		return nil, err
+	}
+	base, err := o.Cache.Get(fp+"/base", func() (*sass.Program, error) {
+		return o.compile(p)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: compile seed %d: %w", p.Seed, err)
+	}
+	sched, err := o.Cache.Get(fmt.Sprintf("%s/sched/%d", fp, schedSeed),
+		func() (*sass.Program, error) {
+			m, err := p.Build()
+			if err != nil {
+				return nil, err
+			}
+			return ptxas.Compile(m, ptxas.Options{Schedule: true, SchedSeed: schedSeed})
+		})
+	if err != nil {
+		return nil, fmt.Errorf("difftest: scheduled compile seed %d: %w", p.Seed, err)
+	}
+	res := &Result{Prog: p, NumRegs: base.Kernels[0].NumRegs}
+
+	ref, err := o.launch(p, base, nil, true, "base/seq")
+	res.Launches++
+	if err != nil {
+		return nil, fmt.Errorf("difftest: reference run seed %d: %w", p.Seed, err)
+	}
+	var schedSeq *RunState
+	for _, seq := range []bool{true, false} {
+		variant := "sched/par"
+		if seq {
+			variant = "sched/seq"
+		}
+		st, err := o.launch(p, sched, nil, seq, variant)
+		res.Launches++
+		if err != nil {
+			res.Failures = append(res.Failures, Failure{Axis: "schedule",
+				Want: "base/seq", Got: variant,
+				Diff: fmt.Sprintf("launch failed: %v", err)})
+			continue
+		}
+		res.Failures = append(res.Failures, compareArch(ref, st)...)
+		if seq {
+			schedSeq = st
+		} else if schedSeq != nil {
+			res.Failures = append(res.Failures, compareFull(schedSeq, st)...)
+		}
+	}
+	return res, nil
+}
+
 // compile renders and compiles the base program. The module is rebuilt
 // from the Prog each time because the backend optimizes ptx in place.
 func (o *Oracle) compile(p *Prog) (*sass.Program, error) {

@@ -154,6 +154,65 @@ func compareTransparent(want, got *RunState, handlerMaxRegs int) []Failure {
 	return fails
 }
 
+// compareArch asserts bit-equality of all architectural state between the
+// unscheduled reference and a scheduler-reordered build of the SAME
+// source: buffers, shared/local memory, every register, predicates, CC,
+// and the order-insensitive kernel statistics. Timing state (Cycles,
+// SMCycles, ScoreboardStalls) is exactly what a schedule is allowed — and
+// expected — to change, so it is excluded, as are the metric snapshots
+// that embed it.
+func compareArch(want, got *RunState) []Failure {
+	var fails []Failure
+	add := func(format string, args ...any) {
+		fails = append(fails, Failure{Axis: "schedule", Want: want.Variant,
+			Got: got.Variant, Diff: fmt.Sprintf(format, args...)})
+	}
+	compareBuffers(want, got, add)
+	compareCTAs(want, got, add, func(w, g *ThreadState, addT func(string, ...any)) {
+		if len(w.Regs) != len(g.Regs) {
+			addT("register file size %d vs %d", len(w.Regs), len(g.Regs))
+			return
+		}
+		for r := range w.Regs {
+			if w.Regs[r] != g.Regs[r] {
+				addT("R%d = %#x vs %#x", r, w.Regs[r], g.Regs[r])
+				return
+			}
+		}
+		if eq, diff := localEqual(w.Local, g.Local, len(w.Local)); !eq {
+			addT("%s", diff)
+		}
+	})
+	if want.Stats != nil && got.Stats != nil {
+		if d := archStatsDiff(want.Stats, got.Stats); d != "" {
+			add("stats: %s", d)
+		}
+	}
+	return fails
+}
+
+// archStatsDiff compares the schedule-invariant statistics.
+func archStatsDiff(w, g *sim.KernelStats) string {
+	type pair struct {
+		name string
+		w, g uint64
+	}
+	pairs := []pair{
+		{"WarpInstrs", w.WarpInstrs, g.WarpInstrs},
+		{"ThreadInstrs", w.ThreadInstrs, g.ThreadInstrs},
+		{"InjectedWarpInstrs", w.InjectedWarpInstrs, g.InjectedWarpInstrs},
+		{"InjectedThreadInstrs", w.InjectedThreadInstrs, g.InjectedThreadInstrs},
+		{"HandlerCalls", w.HandlerCalls, g.HandlerCalls},
+		{"GlobalTransactions", w.GlobalTransactions, g.GlobalTransactions},
+	}
+	for _, p := range pairs {
+		if p.w != p.g {
+			return fmt.Sprintf("%s %d vs %d", p.name, p.w, p.g)
+		}
+	}
+	return ""
+}
+
 func compareBuffers(want, got *RunState, add func(string, ...any)) {
 	for i := range want.Out {
 		if i < len(got.Out) && want.Out[i] != got.Out[i] {
@@ -239,6 +298,7 @@ func statsDiff(w, g *sim.KernelStats) string {
 		{"HandlerCalls", w.HandlerCalls, g.HandlerCalls},
 		{"MaxWarpInstrs", w.MaxWarpInstrs, g.MaxWarpInstrs},
 		{"GlobalTransactions", w.GlobalTransactions, g.GlobalTransactions},
+		{"ScoreboardStalls", w.ScoreboardStalls, g.ScoreboardStalls},
 		{"Cycles", w.Cycles, g.Cycles},
 	}
 	for _, p := range pairs {

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The autotuner's acceptance contract: on the three golden-pinned parboil
+// kernels, scheduling reduces simulated cycles, no candidate is rejected
+// by the verifier/bit-equality gate, and the table is identical at any
+// worker count (the CI smoke runs the same sweep via cmd/experiments).
+func TestSchedTableReducesCyclesWorkerInvariant(t *testing.T) {
+	apps := []string{"parboil.sgemm", "parboil.stencil", "parboil.bfs"}
+	rows, err := SchedTable(Default(), apps, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(apps) {
+		t.Fatalf("%d rows for %d apps", len(rows), len(apps))
+	}
+	for _, r := range rows {
+		if r.Rejected != 0 {
+			t.Errorf("%s: %d candidates rejected by the schedule gate", r.App, r.Rejected)
+		}
+		if r.BestCycles >= r.BaseCycles {
+			t.Errorf("%s: scheduling did not reduce cycles: %d -> %d",
+				r.App, r.BaseCycles, r.BestCycles)
+		}
+		if r.BestCycles > r.HeurCycles {
+			t.Errorf("%s: best (%d) worse than the seed-0 heuristic (%d) — selection broken",
+				r.App, r.BestCycles, r.HeurCycles)
+		}
+	}
+
+	sequential := Default()
+	sequential.Workers = 1
+	rows2, err := SchedTable(sequential, apps, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, rows2) {
+		t.Errorf("results depend on worker count:\n pool: %+v\n seq:  %+v", rows, rows2)
+	}
+
+	out := FormatSchedTable(rows)
+	for _, app := range apps {
+		if !strings.Contains(out, app) {
+			t.Errorf("formatted table missing %s:\n%s", app, out)
+		}
+	}
+}

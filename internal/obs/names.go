@@ -13,6 +13,7 @@ const (
 	MSimHandlerCalls         = "sim.issue.handler_calls"
 	MSimCycles               = "sim.cycles"
 	MSimBarrierStalls        = "sim.stall.barrier_sweeps"
+	MSimScoreboardStalls     = "sim.stall.scoreboard"
 	MSimDivergentBranches    = "sim.divergence.branches"
 	MSimLaunches             = "sim.launches"
 	MSimCTAs                 = "sim.ctas"

@@ -25,6 +25,17 @@ type Options struct {
 	// elimination (ablation knob).
 	NoCopyProp bool
 
+	// Schedule enables the post-RA list scheduler (schedule.go): each
+	// block is reordered into a stall-minimizing topological order of the
+	// dependence DAG, with provenance recorded in Kernel.SchedOrig for the
+	// `schedule` verifier check to certify.
+	Schedule bool
+
+	// SchedSeed perturbs the scheduler's tie-breaking (0 = deterministic
+	// baseline heuristic). The autotuner sweeps seeds to explore
+	// greedy-equivalent schedules. Ignored unless Schedule is set.
+	SchedSeed uint64
+
 	// Verify controls the static-verification post-pass over the emitted
 	// SASS (internal/analysis). The zero value runs it under `go test`
 	// only; see analysis.VerifyMode.
@@ -34,8 +45,9 @@ type Options struct {
 // CacheKey returns a string uniquely identifying these options, for use as
 // part of a compile-cache key.
 func (o Options) CacheKey() string {
-	return fmt.Sprintf("maxregs=%d ifcvt=%t movcoal=%t copyprop=%t verify=%t",
-		o.MaxRegs, !o.NoIfConvert, !o.NoCoalesceMov, !o.NoCopyProp, o.Verify.Enabled())
+	return fmt.Sprintf("maxregs=%d ifcvt=%t movcoal=%t copyprop=%t sched=%t schedseed=%d verify=%t",
+		o.MaxRegs, !o.NoIfConvert, !o.NoCoalesceMov, !o.NoCopyProp,
+		o.Schedule, o.SchedSeed, o.Verify.Enabled())
 }
 
 // Compile lowers a verified PTX module into a SASS program.
@@ -94,6 +106,9 @@ func CompileFunc(f *ptx.Func, opts Options) (*sass.Kernel, error) {
 	}
 	k.NumRegs = alloc.numRegs
 	k.NumPreds = alloc.numPred
+	if opts.Schedule {
+		scheduleKernel(k, opts.SchedSeed)
+	}
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("ptxas: %w", err)
 	}

@@ -153,8 +153,12 @@ func (in *Instruction) BranchTarget() (Operand, bool) {
 
 // GPRDsts returns the general purpose registers written by the instruction,
 // expanding multi-register (64/128-bit) destinations.
-func (in *Instruction) GPRDsts() []uint8 {
-	var out []uint8
+func (in *Instruction) GPRDsts() []uint8 { return in.AppendGPRDsts(nil) }
+
+// AppendGPRDsts appends the written GPRs to buf and returns it. Passing a
+// caller-owned buffer (buf[:0] over a fixed array) keeps hot paths like
+// the simulator's scoreboard allocation-free.
+func (in *Instruction) AppendGPRDsts(buf []uint8) []uint8 {
 	for _, d := range in.Dsts {
 		if d.Kind != OpdReg || d.Reg == RZ {
 			continue
@@ -166,22 +170,25 @@ func (in *Instruction) GPRDsts() []uint8 {
 			n = 2
 		}
 		for i := 0; i < n; i++ {
-			out = append(out, d.Reg+uint8(i))
+			buf = append(buf, d.Reg+uint8(i))
 		}
 	}
-	return out
+	return buf
 }
 
 // GPRSrcs returns the general purpose registers read by the instruction,
 // including address base registers and store data (with width expansion).
-func (in *Instruction) GPRSrcs() []uint8 {
-	var out []uint8
+func (in *Instruction) GPRSrcs() []uint8 { return in.AppendGPRSrcs(nil) }
+
+// AppendGPRSrcs appends the read GPRs to buf and returns it (see
+// AppendGPRDsts for the buffer discipline).
+func (in *Instruction) AppendGPRSrcs(buf []uint8) []uint8 {
 	add := func(r uint8, n int) {
 		if r == RZ {
 			return
 		}
 		for i := 0; i < n; i++ {
-			out = append(out, r+uint8(i))
+			buf = append(buf, r+uint8(i))
 		}
 	}
 	for i, s := range in.Srcs {
@@ -201,7 +208,7 @@ func (in *Instruction) GPRSrcs() []uint8 {
 			add(s.Reg, n)
 		}
 	}
-	return out
+	return buf
 }
 
 // PredDsts returns predicate registers written by the instruction.

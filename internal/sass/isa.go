@@ -134,42 +134,31 @@ var opByName = func() map[string]Opcode {
 // Instruction classification, mirroring the SASSIBeforeParams query methods
 // of the paper (IsMem, IsControlXfer, IsNumeric, ...).
 
-// IsMem reports whether the opcode touches memory.
-func (o Opcode) IsMem() bool {
-	switch o {
-	case OpLD, OpST, OpLDG, OpSTG, OpLDL, OpSTL, OpLDS, OpSTS, OpLDC,
-		OpATOM, OpATOMS, OpRED, OpTLD:
-		return true
-	}
-	return false
-}
+// IsMem reports whether the opcode touches memory. This and the other
+// IsMem* queries are views over the single memClasses table in
+// memclass.go, so every consumer (instrumentation site selection, the
+// memory-divergence profiler, the dependence analysis) classifies
+// memory operations identically.
+func (o Opcode) IsMem() bool { return IsMemoryOp(o) }
 
 // IsMemRead reports whether the opcode reads memory.
 func (o Opcode) IsMemRead() bool {
-	switch o {
-	case OpLD, OpLDG, OpLDL, OpLDS, OpLDC, OpATOM, OpATOMS, OpTLD:
-		return true
-	}
-	return false
+	return int(o) < len(memClasses) && memClasses[o].read
 }
 
 // IsMemWrite reports whether the opcode writes memory.
 func (o Opcode) IsMemWrite() bool {
-	switch o {
-	case OpST, OpSTG, OpSTL, OpSTS, OpATOM, OpATOMS, OpRED:
-		return true
-	}
-	return false
+	return int(o) < len(memClasses) && memClasses[o].write
 }
 
 // IsAtomic reports whether the opcode is an atomic read-modify-write.
-func (o Opcode) IsAtomic() bool { return o == OpATOM || o == OpATOMS || o == OpRED }
+func (o Opcode) IsAtomic() bool {
+	return int(o) < len(memClasses) && memClasses[o].atomic
+}
 
 // IsSpillOrFill reports whether the opcode accesses thread-local (stack)
 // memory, which is where the compiler places register spills.
-func (o Opcode) IsSpillOrFill() bool {
-	return o == OpLDL || o == OpSTL
-}
+func (o Opcode) IsSpillOrFill() bool { return MemSpaceOf(o) == MemLocal }
 
 // IsControlXfer reports whether the opcode may transfer control.
 func (o Opcode) IsControlXfer() bool {
@@ -207,7 +196,9 @@ func (o Opcode) IsFloat() bool {
 }
 
 // IsTexture reports whether the opcode accesses texture memory.
-func (o Opcode) IsTexture() bool { return o == OpTLD }
+func (o Opcode) IsTexture() bool {
+	return int(o) < len(memClasses) && memClasses[o].texture
+}
 
 // CmpOp is a comparison operator used by ISETP/FSETP modifiers.
 type CmpOp uint8

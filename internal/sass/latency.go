@@ -1,0 +1,57 @@
+package sass
+
+// The latency model shared by the simulator's scoreboard and the ptxas
+// list scheduler. Keeping both sides on one table means the scheduler
+// optimizes exactly the stall model the simulator charges, so a schedule
+// that looks good statically is good in simulation (up to the dynamic
+// memory cost the caches add at run time).
+
+// IssueCost is the pipeline occupancy of one warp instruction: the cycles
+// the issue stage is busy before the next instruction of the same warp can
+// issue. Memory operations additionally pay a dynamic transaction cost
+// computed by the memory hierarchy.
+func IssueCost(in *Instruction) int {
+	switch in.Op {
+	case OpMUFU:
+		return 8
+	case OpIMUL, OpIMAD:
+		return 2
+	case OpBAR:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// ResultLatency is the additional delay, beyond IssueCost, before the
+// instruction's results (GPR/predicate/CC writes) are readable by a
+// dependent instruction without stalling. The values model a Kepler-like
+// in-order pipeline: short ALU forwarding latency, longer multiplier and
+// special-function pipes, and load-use penalties graded by how far the
+// target space sits from the core.
+func ResultLatency(in *Instruction) int {
+	switch in.Op {
+	case OpMUFU:
+		return 16
+	case OpIMUL, OpIMAD, OpFFMA, OpFMUL:
+		return 4
+	case OpLDS, OpATOMS:
+		return 12
+	case OpLDC:
+		return 8
+	case OpLDL, OpSTL:
+		return 16
+	case OpLD, OpLDG, OpTLD, OpATOM:
+		return 24
+	case OpSHFL, OpVOTE:
+		return 4
+	default:
+		if IsMemoryOp(in.Op) {
+			return 8 // remaining memory ops (stores): write-buffer drain
+		}
+		if len(in.Dsts) == 0 && !in.Mods.SetCC {
+			return 0 // no architectural result to wait on
+		}
+		return 2 // plain ALU forwarding
+	}
+}

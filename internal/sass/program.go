@@ -56,6 +56,16 @@ type Kernel struct {
 	// compile-time metadata and is deliberately NOT serialized by
 	// MarshalBinary: a .sasskrn file carries only the machine code.
 	BlockDim [3]int
+
+	// SchedOrig, when non-nil, records that the instruction stream was
+	// reordered by the ptxas scheduling pass: SchedOrig[pos] is the index
+	// the instruction now at pos held in the original (pre-scheduling)
+	// order. The `schedule` verifier check (internal/analysis/deps) uses
+	// it to certify the reordering against the dependence DAG of the
+	// reconstructed original. Like BlockDim it is compile-time metadata,
+	// not serialized, and it must be dropped by any pass that edits the
+	// instruction stream afterwards (sassi.Instrument clears it).
+	SchedOrig []int
 }
 
 // Clone returns a deep copy of the kernel sharing no mutable state, so the
@@ -70,6 +80,7 @@ func (k *Kernel) Clone() *Kernel {
 		c.Instrs[i] = in
 	}
 	c.Params = append([]ParamDesc(nil), k.Params...)
+	c.SchedOrig = append([]int(nil), k.SchedOrig...)
 	if k.Labels != nil {
 		c.Labels = make(map[string]int, len(k.Labels))
 		for name, idx := range k.Labels {

@@ -195,6 +195,10 @@ func instrumentKernel(prog *sass.Program, k *sass.Kernel, ki int, opts *Options,
 		k.Labels[name] = remap[idx]
 	}
 	k.Instrs = ij.out
+	// The injected stream is no longer the scheduler's permutation of
+	// anything: drop the provenance so the schedule check has nothing
+	// stale to certify.
+	k.SchedOrig = nil
 	k.LocalBytes += int(ij.maxFrame)
 	if k.NumRegs < HandlerMaxRegs {
 		k.NumRegs = HandlerMaxRegs

@@ -56,6 +56,7 @@ type smShard struct {
 	// order-independent merge keeps parallel runs bit-equal.
 	divergentBranches  uint64
 	barrierStallSweeps uint64
+	scoreboardStalls   uint64
 	ctasRun            uint64
 }
 
@@ -271,7 +272,9 @@ func (e *engine) step(w *Warp) error {
 	if advance {
 		w.PC++
 	}
-	st.cycles += uint64(cost)
+	stall := w.scoreboard(in, cost)
+	st.cycles += uint64(cost) + stall
+	st.scoreboardStalls += stall
 	return nil
 }
 
@@ -959,16 +962,7 @@ func (e *engine) execSetp(t *Thread, in *sass.Instruction, float bool) error {
 	return nil
 }
 
-// issueCost is the base pipeline cost of one warp instruction.
-func issueCost(in *sass.Instruction) int {
-	switch in.Op {
-	case sass.OpMUFU:
-		return 8
-	case sass.OpIMUL, sass.OpIMAD:
-		return 2
-	case sass.OpBAR:
-		return 2
-	default:
-		return 1
-	}
-}
+// issueCost is the base pipeline cost of one warp instruction, delegated
+// to the canonical latency model in internal/sass so the ptxas list
+// scheduler optimizes against exactly what the simulator charges.
+func issueCost(in *sass.Instruction) int { return sass.IssueCost(in) }

@@ -349,6 +349,12 @@ type KernelStats struct {
 	// GlobalTransactions counts coalesced global-memory line transactions.
 	GlobalTransactions uint64
 
+	// ScoreboardStalls is the total cycles warps spent stalled on
+	// register read-after-write/write-after-write hazards (the per-warp
+	// scoreboard model). It is the reward signal the SASS scheduling
+	// autotuner minimizes.
+	ScoreboardStalls uint64
+
 	// Cycles is the modeled kernel duration: the maximum busy-cycle count
 	// across SMs.
 	Cycles uint64

@@ -216,6 +216,7 @@ func (e *engine) finishStats() {
 		s.InjectedThreadInstrs += st.injectedThreadInstrs
 		s.HandlerCalls += st.handlerCalls
 		s.GlobalTransactions += st.globalTransactions
+		s.ScoreboardStalls += st.scoreboardStalls
 		if st.maxWarpInstrs > s.MaxWarpInstrs {
 			s.MaxWarpInstrs = st.maxWarpInstrs
 		}
@@ -245,6 +246,7 @@ func (e *engine) publishMetrics() {
 	hcalls := shard(obs.MSimHandlerCalls)
 	cycles := shard(obs.MSimCycles)
 	stalls := shard(obs.MSimBarrierStalls)
+	sbStalls := shard(obs.MSimScoreboardStalls)
 	div := shard(obs.MSimDivergentBranches)
 	ctas := shard(obs.MSimCTAs)
 	gtrans := shard(obs.MMemGlobalTrans)
@@ -257,6 +259,7 @@ func (e *engine) publishMetrics() {
 		hcalls.AddShard(i, st.handlerCalls)
 		cycles.AddShard(i, st.cycles)
 		stalls.AddShard(i, st.barrierStallSweeps)
+		sbStalls.AddShard(i, st.scoreboardStalls)
 		div.AddShard(i, st.divergentBranches)
 		ctas.AddShard(i, st.ctasRun)
 		gtrans.AddShard(i, st.globalTransactions)

@@ -41,6 +41,83 @@ type Warp struct {
 	Done      bool
 
 	DynWarpInstrs uint64
+
+	// Scoreboard state for the stall model: clock is the warp's local
+	// issue clock, readyAt[slot] the clock value at which the register
+	// behind slot (GPRs 0..254, then predicates, then CC — the same
+	// regspace layout internal/analysis uses) is readable without a
+	// stall. Both live in the warp so the model is per-warp deterministic:
+	// cycles do not depend on how SMs or sibling warps interleave, which
+	// keeps parallel and sequential engines bit-equal.
+	clock   uint64
+	readyAt [sbSlots]uint64
+}
+
+// Scoreboard slot layout: one slot per GPR, per predicate, plus the CC.
+const (
+	sbPredBase = sass.NumGPR
+	sbCCSlot   = sbPredBase + sass.NumPred
+	sbSlots    = sbCCSlot + 1
+)
+
+// scoreboard charges the warp's issue-stage hazards for in: it computes
+// the read-after-write/write-after-write stall against readyAt, advances
+// the warp clock past the stall and the issue cost, and records when the
+// instruction's own results become readable. cost is the final issue cost
+// including any dynamic memory charge. The returned stall is added to the
+// SM's busy cycles by the caller.
+func (w *Warp) scoreboard(in *sass.Instruction, cost int) (stall uint64) {
+	var buf [24]uint8
+	ready := uint64(0)
+	consider := func(slot int) {
+		if r := w.readyAt[slot]; r > ready {
+			ready = r
+		}
+	}
+	for _, r := range in.AppendGPRSrcs(buf[:0]) {
+		if r != sass.RZ {
+			consider(int(r))
+		}
+	}
+	for _, p := range in.AppendGPRDsts(buf[:0]) {
+		if p != sass.RZ {
+			consider(int(p)) // WAW: the previous write must retire first
+		}
+	}
+	if !in.Guard.IsAlways() && in.Guard.Reg != sass.PT {
+		consider(sbPredBase + int(in.Guard.Reg))
+	}
+	for _, s := range in.Srcs {
+		if s.Kind == sass.OpdPred && s.Reg != sass.PT {
+			consider(sbPredBase + int(s.Reg))
+		}
+	}
+	if in.Mods.X {
+		consider(sbCCSlot)
+	}
+	if in.Mods.SetCC {
+		consider(sbCCSlot)
+	}
+	if ready > w.clock {
+		stall = ready - w.clock
+	}
+	issue := w.clock + stall
+	w.clock = issue + uint64(cost)
+	retire := w.clock + uint64(sass.ResultLatency(in))
+	for _, d := range in.AppendGPRDsts(buf[:0]) {
+		if d != sass.RZ {
+			w.readyAt[d] = retire
+		}
+	}
+	for _, d := range in.Dsts {
+		if d.Kind == sass.OpdPred && d.Reg != sass.PT {
+			w.readyAt[sbPredBase+int(d.Reg)] = retire
+		}
+	}
+	if in.Mods.SetCC {
+		w.readyAt[sbCCSlot] = retire
+	}
+	return stall
 }
 
 // ActiveMask returns the current active lane mask.

@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sassi/internal/ptxas"
+)
+
+// TestScheduledDisassemblyGolden pins the list scheduler's output (seed 0,
+// the deterministic heuristic) for the same three workloads the plain
+// disassembly golden covers. A scheduler or latency-model change shows up
+// as a reviewable reordering diff; the plain goldens stay untouched, so
+// the two files also document exactly what the scheduler moved.
+func TestScheduledDisassemblyGolden(t *testing.T) {
+	for _, name := range []string{"parboil.sgemm", "parboil.bfs", "parboil.stencil"} {
+		t.Run(name, func(t *testing.T) {
+			spec, ok := Get(name)
+			if !ok {
+				t.Fatalf("workload %q not registered", name)
+			}
+			m, err := spec.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := ptxas.Compile(m, ptxas.Options{Schedule: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for _, k := range prog.Kernels {
+				if k.SchedOrig == nil {
+					t.Errorf("kernel %s not scheduled", k.Name)
+				}
+				b.WriteString(k.Disassemble())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			golden := filepath.Join("testdata", "golden",
+				strings.ReplaceAll(name, ".", "-")+"-sched.sass")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test -run ScheduledDisassemblyGolden -update ./internal/workloads` to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("scheduled SASS for %s changed; diff against %s.\n"+
+					"If the change is intended, regenerate with -update.\n--- got ---\n%s",
+					name, golden, got)
+			}
+		})
+	}
+}
