@@ -9,6 +9,7 @@ import (
 
 	"sassi/internal/cuda"
 	"sassi/internal/faults"
+	"sassi/internal/obs/pcsamp"
 	"sassi/internal/ptxas"
 	"sassi/internal/sim"
 	"sassi/internal/workloads"
@@ -67,6 +68,31 @@ func parallelBenchSched(tb testing.TB, schedule bool) {
 	}
 }
 
+// parallelBenchSampled runs sgemm(medium) with the PC sampler attached at
+// the given period (0 = sampling off). Recorded so the pcsamp overhead at
+// the default cadence stays visible next to the engine baselines.
+func parallelBenchSampled(tb testing.TB, period uint64) {
+	spec, ok := workloads.Get("parboil.sgemm")
+	if !ok {
+		tb.Fatal("sgemm not registered")
+	}
+	prog, err := spec.Compile(ptxas.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := cuda.NewContext(sim.KeplerK10())
+	if period > 0 {
+		ctx.Device().PCSamp = pcsamp.New(period)
+	}
+	res, err := spec.Run(ctx, prog, "medium")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if res.VerifyErr != nil {
+		tb.Fatal(res.VerifyErr)
+	}
+}
+
 // parallelBenchCampaign runs a small vecadd fault campaign at the given
 // worker count.
 func parallelBenchCampaign(tb testing.TB, workers int) {
@@ -106,6 +132,16 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	b.Run("sched=on", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			parallelBenchSched(b, true)
+		}
+	})
+	b.Run("pcsamp=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallelBenchSampled(b, 0)
+		}
+	})
+	b.Run("pcsamp=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallelBenchSampled(b, pcsamp.DefaultPeriod)
 		}
 	})
 	b.Run("campaign-workers=1", func(b *testing.B) {
@@ -165,6 +201,8 @@ func TestWriteBenchParallelJSON(t *testing.T) {
 		"launch_sms_parallel":   timeIt(func() { parallelBenchLaunch(t, false) }),
 		"launch_sched_off":      timeIt(func() { parallelBenchSched(t, false) }),
 		"launch_sched_on":       timeIt(func() { parallelBenchSched(t, true) }),
+		"launch_pcsamp_off":     timeIt(func() { parallelBenchSampled(t, 0) }),
+		"launch_pcsamp_on":      timeIt(func() { parallelBenchSampled(t, pcsamp.DefaultPeriod) }),
 		"campaign_workers_1":    timeIt(func() { parallelBenchCampaign(t, 1) }),
 		"campaign_workers_ncpu": timeIt(func() { parallelBenchCampaign(t, runtime.NumCPU()) }),
 	}
@@ -172,6 +210,8 @@ func TestWriteBenchParallelJSON(t *testing.T) {
 		"sms":      r.Seconds["launch_sms_sequential"] / r.Seconds["launch_sms_parallel"],
 		"campaign": r.Seconds["campaign_workers_1"] / r.Seconds["campaign_workers_ncpu"],
 		"sched":    r.Seconds["launch_sched_off"] / r.Seconds["launch_sched_on"],
+		// Overhead ratio, not a speedup: >1 means sampling costs time.
+		"pcsamp_overhead": r.Seconds["launch_pcsamp_on"] / r.Seconds["launch_pcsamp_off"],
 	}
 	if r.Host.NumCPU <= 1 {
 		r.Note = "single-core host: concurrent paths run but cannot speed up; " +

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,cfi,table3,overhead,sched")
+	runList := flag.String("run", "all", "comma list of experiments: table1,fig5,fig7,fig8,table2,fig10,cfi,table3,overhead,sched,pcsamp")
 	gpu := flag.String("gpu", "k10", "device model: k10, k20, k40, mini")
 	injections := flag.Int("injections", 100, "fault injections per app for fig10 and cfi (paper: 1000)")
 	seed := flag.Uint64("seed", 2015, "campaign seed for fig10 and cfi")
@@ -32,6 +32,7 @@ func main() {
 	apps := flag.String("apps", "", "comma list restricting table2/table3/fig10 to specific workloads")
 	workers := flag.Int("workers", 0, "concurrent fig10 injection / sched candidate runs (0 = GOMAXPROCS); results are identical at any value")
 	candidates := flag.Int("candidates", 8, "schedule candidates per app for sched (seed 0 heuristic + jittered tie-breaks)")
+	pcsampTop5 := flag.Float64("assert-pcsamp-top5", 0, "fail unless every pcsamp app's top-5 agreement at the default period meets this bound (0 = no gate)")
 	obsFlags := obscli.Register()
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 	env.Fast = !*faithful
 	env.Workers = *workers
 	var reg *obs.Registry
-	reg, tr := obsFlags.Setup(func() *obs.Stats {
+	reg, tr, samp := obsFlags.Setup(func() *obs.Stats {
 		s := obs.NewStats(reg)
 		s.GPU = *gpu
 		return s
@@ -63,6 +64,7 @@ func main() {
 	env.Cache.Trace = tr
 	env.Metrics = reg
 	env.Trace = tr
+	env.PCSamp = samp
 
 	var appList []string
 	if *apps != "" {
@@ -155,6 +157,22 @@ func main() {
 			return experiments.FormatSchedTable(rows), nil
 		})
 	}
+	// Not part of "all": the PC-sampling accuracy sweep is an on-demand
+	// report (it runs each app four extra times, once per sweep period).
+	if want["pcsamp"] {
+		step("pcsamp", func() (string, error) {
+			rows, err := experiments.PCSampReport(env, appList)
+			if err != nil {
+				return "", err
+			}
+			if *pcsampTop5 > 0 {
+				if err := experiments.AssertPCSampTop5(rows, *pcsampTop5); err != nil {
+					return "", err
+				}
+			}
+			return experiments.FormatPCSampReport(rows), nil
+		})
+	}
 	// Not part of "all": the overhead breakdown is an on-demand report.
 	if want["overhead"] {
 		step("overhead", func() (string, error) {
@@ -167,7 +185,7 @@ func main() {
 	}
 	stats := obs.NewStats(reg)
 	stats.GPU = *gpu
-	if err := obsFlags.Finish(tr, stats); err != nil {
+	if err := obsFlags.Finish(tr, stats, samp); err != nil {
 		fmt.Fprintf(os.Stderr, "obs output: %v\n", err)
 		os.Exit(1)
 	}

@@ -70,9 +70,10 @@ func main() {
 		s.Tool = "errorinj"
 		return s
 	}
-	reg, tr := obsFlags.Setup(campaignStats)
+	reg, tr, samp := obsFlags.Setup(campaignStats)
 	c.Metrics = reg
 	c.Trace = tr
+	c.PCSamp = samp
 	start := time.Now()
 	res, err := c.Run()
 	if err != nil {
@@ -85,7 +86,7 @@ func main() {
 		oc := faults.Outcome(o)
 		fmt.Printf("  %-18s %5d (%5.1f%%)\n", oc.String()+":", res.Counts[o], 100*res.Fraction(oc))
 	}
-	if err := obsFlags.Finish(tr, campaignStats()); err != nil {
+	if err := obsFlags.Finish(tr, campaignStats(), samp); err != nil {
 		fmt.Fprintf(os.Stderr, "obs output: %v\n", err)
 		os.Exit(1)
 	}

@@ -100,11 +100,12 @@ func main() {
 	ctx := cuda.NewContext(cfg)
 	var reg *obs.Registry
 	verified := false
-	reg, tr := obsFlags.Setup(func() *obs.Stats {
+	reg, tr, samp := obsFlags.Setup(func() *obs.Stats {
 		return runStats(reg, ctx, *workload, ds, *gpu, *tool, verified)
 	})
 	ctx.Device().Metrics = reg
 	ctx.Device().Trace = tr
+	ctx.Device().PCSamp = samp
 
 	var prog *sass.Program
 	var err error
@@ -214,7 +215,7 @@ func main() {
 	if report != nil {
 		report()
 	}
-	if err := obsFlags.Finish(tr, runStats(reg, ctx, *workload, ds, *gpu, *tool, verified)); err != nil {
+	if err := obsFlags.Finish(tr, runStats(reg, ctx, *workload, ds, *gpu, *tool, verified), samp); err != nil {
 		fmt.Fprintf(os.Stderr, "obs output: %v\n", err)
 		os.Exit(1)
 	}
@@ -232,6 +233,7 @@ func runStats(reg *obs.Registry, ctx *cuda.Context, workload, dataset, gpu, tool
 	s.KernelCycles = ctx.TotalKernelCycles
 	s.WarpInstrs = ctx.TotalWarpInstrs
 	s.HandlerCalls = ctx.TotalHandlerCalls
+	s.ScoreboardStalls = ctx.TotalScoreboardStalls
 	s.Verified = verified
 	return s
 }

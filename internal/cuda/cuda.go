@@ -56,6 +56,7 @@ type Context struct {
 	TotalWarpInstrs          uint64
 	TotalInjectedWarpInstrs  uint64
 	TotalHandlerCalls        uint64
+	TotalScoreboardStalls    uint64
 	PerKernel                map[string]*KernelAgg
 }
 
@@ -201,6 +202,7 @@ func (c *Context) LaunchKernel(prog *sass.Program, kernel string, p sim.LaunchPa
 		c.TotalWarpInstrs += stats.WarpInstrs
 		c.TotalInjectedWarpInstrs += stats.InjectedWarpInstrs
 		c.TotalHandlerCalls += stats.HandlerCalls
+		c.TotalScoreboardStalls += stats.ScoreboardStalls
 		agg := c.PerKernel[kernel]
 		if agg == nil {
 			agg = &KernelAgg{}

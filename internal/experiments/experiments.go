@@ -16,6 +16,7 @@ import (
 
 	"sassi/internal/cuda"
 	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
 	"sassi/internal/sassi"
@@ -44,6 +45,9 @@ type Env struct {
 	// dispatch counts, instrumentation accounting, and timeline spans.
 	Metrics *obs.Registry
 	Trace   *obs.Tracer
+	// PCSamp, when non-nil, PC-samples every launch the experiments
+	// perform (instrumented and baseline alike).
+	PCSamp *pcsamp.Sampler
 }
 
 // Default returns the standard experiment environment.
@@ -64,6 +68,7 @@ func instrumentedRun(env Env, workload, dataset string,
 	ctx := cuda.NewContext(env.Config)
 	ctx.Device().Metrics = env.Metrics
 	ctx.Device().Trace = env.Trace
+	ctx.Device().PCSamp = env.PCSamp
 	h, opts := setup(ctx)
 	// Instrumentation metrics attach only on the uncached path below: cached
 	// builds are shared, and their instrument pass already reported through
@@ -127,6 +132,7 @@ func baselineRun(env Env, workload, dataset string) (*cuda.Context, time.Duratio
 	ctx := cuda.NewContext(env.Config)
 	ctx.Device().Metrics = env.Metrics
 	ctx.Device().Trace = env.Trace
+	ctx.Device().PCSamp = env.PCSamp
 	start := time.Now()
 	res, err := spec.Run(ctx, prog, dataset)
 	wall := time.Since(start)

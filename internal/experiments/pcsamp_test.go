@@ -1,0 +1,132 @@
+package experiments
+
+// Unit coverage for the sampling-accuracy metrics (they gate CI, so their
+// own arithmetic must be pinned) plus an end-to-end report smoke on the
+// cheapest workload.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sassi/internal/obs/pcsamp"
+)
+
+func pk(pc int32) pcsamp.PCKey { return pcsamp.PCKey{Kernel: "k", PC: pc} }
+
+func TestSpearman(t *testing.T) {
+	a := map[pcsamp.PCKey]uint64{pk(0): 100, pk(1): 50, pk(2): 10}
+	if got := spearman(a, a); got != 1 {
+		t.Errorf("self-correlation = %v, want 1", got)
+	}
+	inv := map[pcsamp.PCKey]uint64{pk(0): 10, pk(1): 50, pk(2): 100}
+	if got := spearman(a, inv); got != -1 {
+		t.Errorf("inverted correlation = %v, want -1", got)
+	}
+	// Missing keys count as zero on the other side.
+	partial := map[pcsamp.PCKey]uint64{pk(0): 100}
+	if got := spearman(a, partial); got <= 0 || got >= 1 {
+		t.Errorf("partial overlap correlation = %v, want in (0,1)", got)
+	}
+	// Degenerate inputs call constant rankings agreement.
+	if got := spearman(map[pcsamp.PCKey]uint64{pk(0): 5}, map[pcsamp.PCKey]uint64{pk(0): 9}); got != 1 {
+		t.Errorf("single-key correlation = %v, want 1", got)
+	}
+}
+
+func TestRanksTieAveraging(t *testing.T) {
+	vals := map[pcsamp.PCKey]uint64{pk(0): 5, pk(1): 5, pk(2): 9}
+	r := ranks(unionKeys(vals, nil), vals)
+	// The two tied smallest values share rank (1+2)/2; the largest is 3.
+	if r[0] != 1.5 || r[1] != 1.5 || r[2] != 3 {
+		t.Errorf("ranks = %v, want [1.5 1.5 3]", r)
+	}
+}
+
+func TestTopNOverlap(t *testing.T) {
+	truth := map[pcsamp.PCKey]uint64{pk(0): 100, pk(1): 90, pk(2): 5, pk(3): 1}
+	if got := topNOverlap(truth, truth, 2); got != 1 {
+		t.Errorf("self top-2 overlap = %v, want 1", got)
+	}
+	// Estimate swaps the hot pair for the cold pair: zero overlap.
+	est := map[pcsamp.PCKey]uint64{pk(0): 1, pk(1): 2, pk(2): 90, pk(3): 100}
+	if got := topNOverlap(truth, est, 2); got != 0 {
+		t.Errorf("disjoint top-2 overlap = %v, want 0", got)
+	}
+	// n larger than the profile shrinks to its size.
+	if got := topNOverlap(truth, truth, 50); got != 1 {
+		t.Errorf("oversized-n overlap = %v, want 1", got)
+	}
+	if got := topNOverlap(nil, est, 5); got != 1 {
+		t.Errorf("empty-truth overlap = %v, want 1 (vacuous)", got)
+	}
+}
+
+func TestMeanRelErr(t *testing.T) {
+	truth := map[pcsamp.PCKey]uint64{pk(0): 100, pk(1): 100}
+	if got := meanRelErr(truth, truth, 0.9); got != 0 {
+		t.Errorf("self error = %v, want 0", got)
+	}
+	est := map[pcsamp.PCKey]uint64{pk(0): 150, pk(1): 50}
+	if got := meanRelErr(truth, est, 1.0); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("error = %v, want 0.5", got)
+	}
+	if got := meanRelErr(map[pcsamp.PCKey]uint64{}, est, 0.9); got != 0 {
+		t.Errorf("empty-truth error = %v, want 0", got)
+	}
+}
+
+func TestAssertPCSampTop5(t *testing.T) {
+	rows := []PCSampRow{
+		{App: "a", Period: 10, Top5: 0.0}, // non-default periods are not gated
+		{App: "a", Period: pcsamp.DefaultPeriod, Top5: 0.9},
+	}
+	if err := AssertPCSampTop5(rows, 0.8); err != nil {
+		t.Errorf("assert at 0.8 with top5 0.9: %v", err)
+	}
+	if err := AssertPCSampTop5(rows, 0.95); err == nil {
+		t.Error("assert at 0.95 with top5 0.9 passed")
+	}
+}
+
+// TestPCSampReportSmoke runs the full report pipeline (exact period-1
+// profile, SASSI exec-count cross-validation, period sweep) on the
+// cheapest workload and sanity-checks every column.
+func TestPCSampReportSmoke(t *testing.T) {
+	rows, err := PCSampReport(Default(), []string{"demo.vecadd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(PCSampPeriods) {
+		t.Fatalf("%d rows, want %d", len(rows), len(PCSampPeriods))
+	}
+	for _, r := range rows {
+		if r.App != "demo.vecadd" {
+			t.Errorf("row app = %q", r.App)
+		}
+		if r.PCs <= 0 {
+			t.Errorf("period %d: exact profile has %d PCs", r.Period, r.PCs)
+		}
+		if r.Rank < -1 || r.Rank > 1 || r.ExecRank < -1 || r.ExecRank > 1 {
+			t.Errorf("period %d: correlation out of range: rank=%v execrank=%v",
+				r.Period, r.Rank, r.ExecRank)
+		}
+		if r.Top5 < 0 || r.Top5 > 1 {
+			t.Errorf("period %d: top5 = %v", r.Period, r.Top5)
+		}
+		if r.MeanErr < 0 {
+			t.Errorf("period %d: meanerr = %v", r.Period, r.MeanErr)
+		}
+	}
+	// Sampling more often must collect at least as many weighted samples.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Period > rows[i-1].Period && rows[i].Samples > rows[i-1].Samples {
+			t.Errorf("period %d collected more samples (%d) than period %d (%d)",
+				rows[i].Period, rows[i].Samples, rows[i-1].Period, rows[i-1].Samples)
+		}
+	}
+	out := FormatPCSampReport(rows)
+	if !strings.Contains(out, "demo.vecadd") {
+		t.Errorf("formatted report missing the app:\n%s", out)
+	}
+}

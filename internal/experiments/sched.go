@@ -64,10 +64,12 @@ type schedCandidate struct {
 //     stdout byte-for-byte (no tolerance — a schedule may only move time,
 //     never bits).
 //
-// Candidate cycle counts are a pure function of (app, schedSeed) — the
-// simulator is deterministic and each evaluation owns a private context —
-// and the winner is selected by (cycles, lowest candidate index), so the
-// table is identical at any worker count.
+// Candidate cycle counts are a pure function of (app, schedSeed): every
+// measurement runs on the sequential-SM engine (a workload like
+// parboil.bfs whose cross-SM atomic ordering feeds control flow is not
+// run-to-run stable on the concurrent engine) and each evaluation owns a
+// private context. The winner is selected by (cycles, lowest candidate
+// index), so the table is identical at any worker count.
 func SchedTable(env Env, apps []string, candidates int, seed uint64) ([]SchedRow, error) {
 	if apps == nil {
 		apps = SchedApps()
@@ -91,6 +93,10 @@ func SchedTable(env Env, apps []string, candidates int, seed uint64) ([]SchedRow
 }
 
 func schedApp(env Env, app string, candidates int, seed uint64, workers int) (SchedRow, error) {
+	// The autotuner compares cycle counts across candidates, so the
+	// measurement must be deterministic: force the sequential-SM engine
+	// for the baseline and every candidate (env is a copy).
+	env.Config.SequentialSMs = true
 	spec, ok := workloads.Get(app)
 	if !ok {
 		return SchedRow{}, fmt.Errorf("experiments: unknown workload %q", app)

@@ -13,6 +13,7 @@ import (
 	"sassi/internal/cuda"
 	"sassi/internal/handlers"
 	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
 	"sassi/internal/ptxas"
 	"sassi/internal/sass"
 	"sassi/internal/sassi"
@@ -84,6 +85,10 @@ type Campaign struct {
 	// host lane and one wall-clock lane per injection worker (PidCampaign),
 	// with a span per run carrying its outcome.
 	Trace *obs.Tracer
+	// PCSamp, when non-nil, PC-samples the golden run (only: the profiling
+	// and injection runs execute instrumented code whose PCs would not
+	// line up with the uninstrumented profile).
+	PCSamp *pcsamp.Sampler
 }
 
 // launchProfile records one launch's per-thread qualifying site counts.
@@ -138,6 +143,7 @@ func (c *Campaign) Run() (*Result, error) {
 		return nil, err
 	}
 	goldenCtx := cuda.NewContext(c.Config)
+	goldenCtx.Device().PCSamp = c.PCSamp
 	var golden *workloads.Result
 	c.Trace.HostSpan(obs.TidHostMain, "golden:"+c.Spec.Name, func() {
 		golden, err = c.Spec.Run(goldenCtx, goldenProg, c.Dataset)

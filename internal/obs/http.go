@@ -3,18 +3,41 @@ package obs
 import (
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 )
 
+// Mount attaches an extra handler to the observability endpoint. The obs
+// package stays dependency-light: producers that cannot be imported here
+// (e.g. the PC-sampling profiler, which itself imports obs) hand their
+// handlers in through Mounts instead.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler serves the registry over HTTP:
 //
-//	/metrics    Prometheus text exposition (counters, gauges, histograms)
-//	/stats.json expvar-style JSON: the flattened registry, sorted keys
+//	/metrics       Prometheus text exposition (counters, gauges, histograms)
+//	/stats.json    expvar-style JSON: the flattened registry, sorted keys
+//	/debug/pprof/  net/http/pprof host-side profiling (CPU, heap, goroutine
+//	               — the simulator profiling itself during long campaigns)
 //
 // stats, when non-nil, is called per /stats.json request to refresh
-// run-level fields around the metrics map.
-func Handler(reg *Registry, stats func() *Stats) http.Handler {
+// run-level fields around the metrics map. mounts add caller endpoints,
+// e.g. the PC-sampling /debug/sassiprof/profile handler.
+func Handler(reg *Registry, stats func() *Stats, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		if m.Handler != nil {
+			mux.Handle(m.Pattern, m.Handler)
+		}
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		WritePrometheus(w, reg)
@@ -32,7 +55,7 @@ func Handler(reg *Registry, stats func() *Stats) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "sassi observability: /metrics (Prometheus text), /stats.json")
+		fmt.Fprintln(w, "sassi observability: /metrics (Prometheus text), /stats.json, /debug/pprof/ (host), /debug/sassiprof/profile (device PC sampling, when enabled)")
 	})
 	return mux
 }
@@ -40,8 +63,8 @@ func Handler(reg *Registry, stats func() *Stats) http.Handler {
 // Serve starts an HTTP server for the registry on addr in a background
 // goroutine, returning immediately. Errors (e.g. port in use) are reported
 // through errf since the caller has usually moved on.
-func Serve(addr string, reg *Registry, stats func() *Stats, errf func(error)) {
-	srv := &http.Server{Addr: addr, Handler: Handler(reg, stats)}
+func Serve(addr string, reg *Registry, stats func() *Stats, errf func(error), mounts ...Mount) {
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, stats, mounts...)}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
 			errf(err)

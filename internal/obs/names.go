@@ -17,6 +17,11 @@ const (
 	MSimDivergentBranches    = "sim.divergence.branches"
 	MSimLaunches             = "sim.launches"
 	MSimCTAs                 = "sim.ctas"
+	// Launch geometry and per-warp peak, published once per launch from
+	// the post-merge goroutine (threads accumulate; the max gauge is
+	// refreshed with the latest launch's peak).
+	MSimThreads       = "sim.threads"
+	MSimMaxWarpInstrs = "sim.issue.max_warp_instrs"
 
 	// internal/mem — device-lifetime gauges, refreshed at kernel exit.
 	MMemL1Accesses   = "mem.l1.accesses"
@@ -46,6 +51,12 @@ const (
 	MHandlerDispatchPrefix = "handlers.dispatch."
 	// Warp-occupancy histogram of dispatches (active lanes per call).
 	MHandlerActiveLanes = "handlers.dispatch_active_lanes"
+
+	// internal/obs/pcsamp — PC-sampling profiler, published at launch end
+	// (never on the sampling hot path). Samples are period-weighted.
+	MPCSampSamples   = "pcsamp.samples"
+	MPCSampLaunches  = "pcsamp.launches"
+	MPCSampTruncated = "pcsamp.truncated_stacks"
 
 	// internal/faults — campaign progress.
 	MFaultsRuns        = "faults.runs"

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -209,5 +210,41 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if s["schema"] != StatsSchema {
 		t.Fatalf("schema = %v", s["schema"])
+	}
+}
+
+func TestHandlerMounts(t *testing.T) {
+	r := NewRegistry()
+	custom := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("profile-bytes"))
+	})
+	h := Handler(r, nil,
+		Mount{Pattern: "/debug/sassiprof/profile", Handler: custom},
+		Mount{Pattern: "/debug/nil", Handler: nil}) // nil mounts are skipped, not panics
+
+	// The Go runtime profiler is mounted for free on every -http server.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline status = %d, want 200", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/sassiprof/profile", nil))
+	if rec.Code != 200 || rec.Body.String() != "profile-bytes" {
+		t.Errorf("custom mount = %d %q, want the mounted handler's output", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/nil", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil mount status = %d, want 404", rec.Code)
+	}
+
+	// The index page advertises the debug endpoints.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(rec.Body.String(), "/debug/pprof/") {
+		t.Errorf("index does not mention /debug/pprof/:\n%s", rec.Body.String())
 	}
 }

@@ -25,7 +25,10 @@ type Stats struct {
 	KernelCycles uint64 `json:"kernel_cycles"`
 	WarpInstrs   uint64 `json:"warp_instrs"`
 	HandlerCalls uint64 `json:"handler_calls"`
-	Verified     bool   `json:"verified"`
+	// ScoreboardStalls is the total cycles warps spent stalled on register
+	// hazards (KernelStats.ScoreboardStalls summed over launches).
+	ScoreboardStalls uint64 `json:"scoreboard_stalls"`
+	Verified         bool   `json:"verified"`
 
 	// Metrics is the registry flattened to name → value (sorted on
 	// marshal). Wall-clock quantities are deliberately excluded so the

@@ -1,16 +1,18 @@
 // Package obscli wires the observability layer into the command-line
 // tools: cmd/sassi, cmd/sassi-fi, and cmd/experiments all expose the same
-// -trace / -stats-json / -http flags through this package, so the flag
-// semantics (and the zero-cost-when-off rule: no flag, nil registry and
-// tracer) stay identical across binaries.
+// -trace / -stats-json / -http / -pcsamp flags through this package, so
+// the flag semantics (and the zero-cost-when-off rule: no flag, nil
+// registry, tracer, and sampler) stay identical across binaries.
 package obscli
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
 )
 
 // Flags holds the shared observability flag values.
@@ -21,9 +23,15 @@ type Flags struct {
 	StatsOut string
 	// HTTPAddr is -http: address for the /metrics + /stats.json endpoint.
 	HTTPAddr string
+	// PCSampOut is -pcsamp: folded-stack profile output path ("-" = stdout).
+	PCSampOut string
+	// PCSampPprof is -pcsamp-pprof: gzipped profile.proto output path.
+	PCSampPprof string
+	// PCSampPeriod is -pcsamp-period: sampling cadence in modeled cycles.
+	PCSampPeriod uint64
 }
 
-// Register declares -trace, -stats-json, and -http on the default flag set.
+// Register declares the shared observability flags on the default flag set.
 func Register() *Flags {
 	f := &Flags{}
 	flag.StringVar(&f.TraceOut, "trace", "",
@@ -31,22 +39,39 @@ func Register() *Flags {
 	flag.StringVar(&f.StatsOut, "stats-json", "",
 		`write run statistics as sorted JSON here ("-" for stdout)`)
 	flag.StringVar(&f.HTTPAddr, "http", "",
-		"serve /metrics (Prometheus text) and /stats.json on this address, e.g. :8080")
+		"serve /metrics (Prometheus text), /stats.json, /debug/pprof/, and /debug/sassiprof/profile on this address, e.g. :8080")
+	flag.StringVar(&f.PCSampOut, "pcsamp", "",
+		`write a folded-stack PC-sampling profile here ("-" for stdout; pipe into flamegraph.pl)`)
+	flag.StringVar(&f.PCSampPprof, "pcsamp-pprof", "",
+		"write a gzipped pprof profile.proto PC-sampling profile here (view with go tool pprof)")
+	flag.Uint64Var(&f.PCSampPeriod, "pcsamp-period", pcsamp.DefaultPeriod,
+		"PC-sampling cadence in modeled device cycles (1 = exact per-instruction attribution)")
 	return f
 }
 
-// Enabled reports whether any observability output was requested.
+// Enabled reports whether any metrics/trace output was requested.
 func (f *Flags) Enabled() bool {
 	return f.TraceOut != "" || f.StatsOut != "" || f.HTTPAddr != ""
 }
 
-// Setup returns the registry and tracer the flags imply — both nil when
-// their outputs are off, keeping disabled observability free — and starts
-// the HTTP endpoint if requested. stats is called per /stats.json request
-// to wrap the live registry; nil serves the bare flattened registry.
-func (f *Flags) Setup(stats func() *obs.Stats) (*obs.Registry, *obs.Tracer) {
+// SamplingEnabled reports whether the PC sampler should run: any sampling
+// output, or the HTTP endpoint (whose /debug/sassiprof/profile handler
+// serves continuous profiles — the always-on shape, affordable because
+// sampling costs well under 10% at the default period).
+func (f *Flags) SamplingEnabled() bool {
+	return f.PCSampOut != "" || f.PCSampPprof != "" || f.HTTPAddr != ""
+}
+
+// Setup returns the registry, tracer, and PC sampler the flags imply —
+// each nil when its outputs are off, keeping disabled observability free —
+// and starts the HTTP endpoint if requested. stats is called per
+// /stats.json request to wrap the live registry; nil serves the bare
+// flattened registry. Callers attach the sampler to their device(s):
+// sim.Device.PCSamp.
+func (f *Flags) Setup(stats func() *obs.Stats) (*obs.Registry, *obs.Tracer, *pcsamp.Sampler) {
 	var reg *obs.Registry
 	var tr *obs.Tracer
+	var samp *pcsamp.Sampler
 	if f.Enabled() {
 		reg = obs.NewRegistry()
 	}
@@ -56,17 +81,21 @@ func (f *Flags) Setup(stats func() *obs.Stats) (*obs.Registry, *obs.Tracer) {
 		tr.NameThread(obs.PidHost, obs.TidHostMain, "main")
 		tr.NameThread(obs.PidHost, obs.TidHostCompile, "compile+instrument")
 	}
+	if f.SamplingEnabled() {
+		samp = pcsamp.New(f.PCSampPeriod)
+		samp.Metrics = reg
+	}
 	if f.HTTPAddr != "" {
 		obs.Serve(f.HTTPAddr, reg, stats, func(err error) {
 			fmt.Fprintf(os.Stderr, "obs http: %v\n", err)
-		})
+		}, obs.Mount{Pattern: "/debug/sassiprof/profile", Handler: samp.ProfileHandler()})
 	}
-	return reg, tr
+	return reg, tr, samp
 }
 
-// Finish writes the -trace and -stats-json outputs. stats may be nil when
-// -stats-json is off.
-func (f *Flags) Finish(tr *obs.Tracer, stats *obs.Stats) error {
+// Finish writes the -trace, -stats-json, and -pcsamp* outputs. stats may
+// be nil when -stats-json is off; samp may be nil when sampling is off.
+func (f *Flags) Finish(tr *obs.Tracer, stats *obs.Stats, samp *pcsamp.Sampler) error {
 	if f.TraceOut != "" {
 		w, err := os.Create(f.TraceOut)
 		if err != nil {
@@ -81,18 +110,38 @@ func (f *Flags) Finish(tr *obs.Tracer, stats *obs.Stats) error {
 		}
 	}
 	if f.StatsOut != "" && stats != nil {
-		if f.StatsOut == "-" {
-			return stats.WriteJSON(os.Stdout)
-		}
-		w, err := os.Create(f.StatsOut)
-		if err != nil {
+		if err := writeTo(f.StatsOut, stats.WriteJSON); err != nil {
 			return err
 		}
-		if err := stats.WriteJSON(w); err != nil {
-			w.Close()
-			return err
+	}
+	if samp != nil {
+		prof := samp.Profile()
+		if f.PCSampOut != "" {
+			if err := writeTo(f.PCSampOut, prof.WriteFolded); err != nil {
+				return err
+			}
 		}
-		return w.Close()
+		if f.PCSampPprof != "" {
+			if err := writeTo(f.PCSampPprof, prof.WritePprof); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// writeTo streams write to path, with "-" meaning stdout.
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }

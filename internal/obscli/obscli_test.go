@@ -1,0 +1,154 @@
+package obscli
+
+// End-to-end check of the shared CLI wiring: the flags must imply exactly
+// the right set of live observability objects (nil = free when off), and
+// Finish must materialize every requested output file.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
+	"sassi/internal/sass"
+	"sassi/internal/sim"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	f := Register()
+	if f.Enabled() {
+		t.Error("Enabled() true with no flags set")
+	}
+	if f.SamplingEnabled() {
+		t.Error("SamplingEnabled() true with no flags set")
+	}
+	if f.PCSampPeriod != pcsamp.DefaultPeriod {
+		t.Errorf("default period = %d, want %d", f.PCSampPeriod, pcsamp.DefaultPeriod)
+	}
+}
+
+func TestEnabledCombinations(t *testing.T) {
+	for _, tc := range []struct {
+		f        Flags
+		enabled  bool
+		sampling bool
+	}{
+		{Flags{}, false, false},
+		{Flags{TraceOut: "x"}, true, false},
+		{Flags{StatsOut: "-"}, true, false},
+		{Flags{HTTPAddr: ":0"}, true, true}, // http serves continuous profiles
+		{Flags{PCSampOut: "x"}, false, true},
+		{Flags{PCSampPprof: "x"}, false, true},
+	} {
+		if got := tc.f.Enabled(); got != tc.enabled {
+			t.Errorf("%+v Enabled() = %v, want %v", tc.f, got, tc.enabled)
+		}
+		if got := tc.f.SamplingEnabled(); got != tc.sampling {
+			t.Errorf("%+v SamplingEnabled() = %v, want %v", tc.f, got, tc.sampling)
+		}
+	}
+}
+
+func TestSetupAllOff(t *testing.T) {
+	f := &Flags{PCSampPeriod: pcsamp.DefaultPeriod}
+	reg, tr, samp := f.Setup(nil)
+	if reg != nil || tr != nil || samp != nil {
+		t.Errorf("Setup with no flags = (%v, %v, %v), want all nil", reg, tr, samp)
+	}
+	// Finish with everything off (and nil objects) must be a clean no-op.
+	if err := f.Finish(tr, nil, samp); err != nil {
+		t.Errorf("Finish with all outputs off: %v", err)
+	}
+}
+
+// TestSetupFinishEndToEnd drives a real launch through the objects Setup
+// returns and checks every output file Finish writes.
+func TestSetupFinishEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	f := &Flags{
+		TraceOut:     filepath.Join(dir, "trace.json"),
+		StatsOut:     filepath.Join(dir, "stats.json"),
+		PCSampOut:    filepath.Join(dir, "prof.folded"),
+		PCSampPprof:  filepath.Join(dir, "prof.pb.gz"),
+		PCSampPeriod: 1,
+	}
+	reg, tr, samp := f.Setup(nil)
+	if reg == nil || tr == nil || samp == nil {
+		t.Fatalf("Setup = (%v, %v, %v), want all live", reg, tr, samp)
+	}
+	if samp.Metrics != reg {
+		t.Error("sampler not wired to the registry")
+	}
+
+	k := &sass.Kernel{Name: "spin", NumRegs: 8, Labels: map[string]int{}}
+	k.Instrs = []sass.Instruction{
+		sass.New(sass.OpMOV, []sass.Operand{sass.R(0)}, []sass.Operand{sass.Imm(1)}),
+		sass.New(sass.OpEXIT, nil, nil),
+	}
+	if err := k.ResolveLabels(); err != nil {
+		t.Fatal(err)
+	}
+	prog := sass.NewProgram()
+	prog.AddKernel(k)
+	dev := sim.NewDevice(sim.MiniGPU())
+	dev.Metrics = reg
+	dev.Trace = tr
+	dev.PCSamp = samp
+	if _, err := dev.Launch(prog, "spin", sim.LaunchParams{
+		Grid: sim.D1(1), Block: sim.D1(32),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Finish(tr, obs.NewStats(reg), samp); err != nil {
+		t.Fatal(err)
+	}
+
+	trace, err := os.ReadFile(f.TraceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &tl); err != nil {
+		t.Errorf("trace output is not Chrome trace JSON: %v", err)
+	} else if len(tl.TraceEvents) == 0 {
+		t.Error("trace output has no events")
+	}
+	statsRaw, err := os.ReadFile(f.StatsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(statsRaw, &stats); err != nil {
+		t.Errorf("stats output is not JSON: %v", err)
+	}
+	folded, err := os.ReadFile(f.PCSampOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(folded), "spin;") {
+		t.Errorf("folded profile missing the kernel frame:\n%s", folded)
+	}
+	pb, err := os.ReadFile(f.PCSampPprof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gzip.NewReader(bytes.NewReader(pb)); err != nil {
+		t.Errorf("pprof output is not gzip: %v", err)
+	}
+}
+
+// TestWriteToError checks the unwritable-path error propagates.
+func TestWriteToError(t *testing.T) {
+	f := &Flags{PCSampOut: filepath.Join(t.TempDir(), "no", "such", "dir", "p.folded")}
+	if err := f.Finish(nil, nil, pcsamp.New(1)); err == nil {
+		t.Error("Finish with unwritable -pcsamp path returned nil error")
+	}
+}

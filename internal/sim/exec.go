@@ -8,6 +8,7 @@ import (
 
 	"sassi/internal/mem"
 	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
 	"sassi/internal/sass"
 )
 
@@ -31,6 +32,13 @@ type engine struct {
 	// cycleBase offsets this launch's device-lane trace spans so
 	// successive launches stack on the device timeline.
 	cycleBase uint64
+
+	// PC-sampling attachment (nil when the device has no sampler): the
+	// per-launch buffer set, the cycle cadence, and the warps-per-CTA
+	// factor that makes launch-global warp ids (CTA*warpsPerCTA + id).
+	samp        *pcsamp.LaunchSamples
+	sampPeriod  uint64
+	warpsPerCTA int
 }
 
 // smShard is one SM's private slice of the launch state: its view of the
@@ -58,6 +66,13 @@ type smShard struct {
 	barrierStallSweeps uint64
 	scoreboardStalls   uint64
 	ctasRun            uint64
+
+	// PC sampling: this SM's single-writer sample buffer and the cycle
+	// count at which the next sample fires. Like the counters above they
+	// are plain shard fields — the hot path pays one nil check when
+	// sampling is off and one compare when it is on.
+	samp     *pcsamp.SMBuf
+	sampNext uint64
 }
 
 func (e *engine) fail(w *Warp, kind ErrKind, format string, args ...any) error {
@@ -147,6 +162,16 @@ func (e *engine) step(w *Warp) error {
 		return e.fail(w, ErrInvalid, "PC out of range (fell off kernel end)")
 	}
 	st := &e.sms[w.CTA.SM]
+	// PC sampling needs the pre-execution PC (control transfers rewrite
+	// w.PC below) and the divergence count before this instruction, to
+	// classify a branch that splits the mask. Both captures are plain
+	// field reads; the second is gated so the sampling-off path pays only
+	// one predictable branch.
+	pcIdx := w.PC
+	var divBefore uint64
+	if st.samp != nil {
+		divBefore = st.divergentBranches
+	}
 	w.DynWarpInstrs++
 	if w.DynWarpInstrs > st.maxWarpInstrs {
 		st.maxWarpInstrs = w.DynWarpInstrs
@@ -275,6 +300,9 @@ func (e *engine) step(w *Warp) error {
 	stall := w.scoreboard(in, cost)
 	st.cycles += uint64(cost) + stall
 	st.scoreboardStalls += stall
+	if st.samp != nil && st.cycles >= st.sampNext {
+		e.takeSample(st, w, pcIdx, in, nexec, cost, stall, divBefore)
+	}
 	return nil
 }
 

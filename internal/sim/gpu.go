@@ -14,6 +14,7 @@ import (
 
 	"sassi/internal/mem"
 	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
 )
 
 // WarpSize is the number of threads per warp (fixed, as on NVIDIA parts).
@@ -182,6 +183,15 @@ type Device struct {
 	// timestamps are modeled cycles offset by a per-device base so
 	// successive launches stack instead of overlapping.
 	Trace *obs.Tracer
+
+	// PCSamp, when non-nil, attaches the cycle-cadence PC-sampling
+	// profiler to every launch: the warp whose issue+stall window crosses
+	// a multiple of the sampling period records (PC, warp, active lanes,
+	// stall reason, call stack) into its SM's single-writer ring buffer.
+	// Buffers merge order-independently at launch end, so profiles are
+	// bit-identical between the sequential and concurrent engines, and
+	// the hot path allocates nothing (same discipline as Metrics).
+	PCSamp *pcsamp.Sampler
 
 	// CTARetire, when non-nil, observes every CTA at retirement, after its
 	// last warp exits and before its state is discarded (the differential

@@ -103,6 +103,9 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 	numCTAs := grid.Count()
 	e.stats.CTAs = numCTAs
 	e.stats.Threads = numCTAs * threadsPerCTA
+	if d.PCSamp != nil {
+		e.attachSampler(d.PCSamp, threadsPerCTA)
+	}
 
 	numRegs := k.NumRegs
 	if numRegs < 16 {
@@ -183,6 +186,11 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 		d.traceAdvance(e.stats.Cycles)
 	}
 	e.publishMetrics()
+	if e.samp != nil {
+		// Merge even a failed launch's samples: profiles of crashing
+		// kernels are exactly what a profiler is for.
+		d.PCSamp.LaunchEnd(e.samp)
+	}
 	for _, err := range smErrs {
 		if err != nil {
 			return e.stats, err
@@ -265,6 +273,8 @@ func (e *engine) publishMetrics() {
 		gtrans.AddShard(i, st.globalTransactions)
 	}
 	reg.Counter(obs.MSimLaunches).Inc()
+	reg.Counter(obs.MSimThreads).Add(uint64(e.stats.Threads))
+	reg.Gauge(obs.MSimMaxWarpInstrs).Set(e.stats.MaxWarpInstrs)
 	mem.PublishHierarchy(reg, e.dev.L1Stats(), e.dev.L2Stats(), e.dev.DRAMTransactions())
 }
 

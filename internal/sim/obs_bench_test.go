@@ -12,13 +12,14 @@ import (
 
 	"sassi/internal/mem"
 	"sassi/internal/obs"
+	"sassi/internal/obs/pcsamp"
 	"sassi/internal/sass"
 )
 
 // benchWarp builds a minimal engine around a two-instruction uniform loop
 // (IADD R0,R0,R0; BRA loop) and returns a stepper that executes one warp
 // instruction per call, with the watchdog held off.
-func benchWarp(tb testing.TB, reg *obs.Registry, tr *obs.Tracer) func() {
+func benchWarp(tb testing.TB, reg *obs.Registry, tr *obs.Tracer, samp *pcsamp.Sampler) func() {
 	tb.Helper()
 	k := &sass.Kernel{Name: "spin", NumRegs: 16, Labels: map[string]int{"loop": 0}}
 	k.Instrs = []sass.Instruction{
@@ -45,6 +46,9 @@ func benchWarp(tb testing.TB, reg *obs.Registry, tr *obs.Tracer) func() {
 	}
 	e.ntid = [3]uint32{32, 1, 1}
 	e.nctaid = [3]uint32{1, 1, 1}
+	if samp != nil {
+		e.attachSampler(samp, 32)
+	}
 	cta := e.buildCTA(0, D1(1), D1(32), 16, 0, 0, 0)
 	w := cta.Warps[0]
 	return func() {
@@ -70,7 +74,7 @@ func TestWarpIssueZeroAlloc(t *testing.T) {
 		{"enabled", obs.NewRegistry(), obs.NewTracer()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			step := benchWarp(t, tc.reg, tc.tr)
+			step := benchWarp(t, tc.reg, tc.tr, nil)
 			step() // warm up (first divergence-free BRA, etc.)
 			if allocs := testing.AllocsPerRun(1000, func() { step() }); allocs != 0 {
 				t.Errorf("warp issue with obs %s allocates %.1f times per instruction, want 0",
@@ -86,7 +90,7 @@ func TestWarpIssueZeroAlloc(t *testing.T) {
 // variants and 0 allocs/op on both.
 func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("issue/disabled", func(b *testing.B) {
-		step := benchWarp(b, nil, nil)
+		step := benchWarp(b, nil, nil, nil)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -94,7 +98,27 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 	})
 	b.Run("issue/enabled", func(b *testing.B) {
-		step := benchWarp(b, obs.NewRegistry(), obs.NewTracer())
+		step := benchWarp(b, obs.NewRegistry(), obs.NewTracer(), nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+	// PC sampling at the default period: the acceptance bound is <=10%
+	// over issue/disabled. (At the default cadence 1-in-100 issues record
+	// a 64-byte ring write, so the expected delta is ~1%.)
+	b.Run("issue/sampling", func(b *testing.B) {
+		step := benchWarp(b, nil, nil, pcsamp.New(pcsamp.DefaultPeriod))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+	// Worst case: every issue cycle sampled.
+	b.Run("issue/sampling-period1", func(b *testing.B) {
+		step := benchWarp(b, nil, nil, pcsamp.New(1))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -103,7 +127,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 	// End-to-end: a full small launch with and without a live registry,
 	// capturing the per-launch publishMetrics cost in context.
-	launch := func(b *testing.B, reg *obs.Registry) {
+	launch := func(b *testing.B, reg *obs.Registry, samp *pcsamp.Sampler) {
 		k := &sass.Kernel{Name: "gid", NumRegs: 16, Labels: map[string]int{}}
 		out := k.AddParam("out", 8)
 		k.Instrs = []sass.Instruction{
@@ -121,6 +145,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 		prog.AddKernel(k)
 		dev := NewDevice(MiniGPU())
 		dev.Metrics = reg
+		dev.PCSamp = samp
 		buf := dev.Alloc(4*64, "out")
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -131,6 +156,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	}
-	b.Run("launch/disabled", func(b *testing.B) { launch(b, nil) })
-	b.Run("launch/enabled", func(b *testing.B) { launch(b, obs.NewRegistry()) })
+	b.Run("launch/disabled", func(b *testing.B) { launch(b, nil, nil) })
+	b.Run("launch/enabled", func(b *testing.B) { launch(b, obs.NewRegistry(), nil) })
+	b.Run("launch/sampled", func(b *testing.B) { launch(b, nil, pcsamp.New(pcsamp.DefaultPeriod)) })
 }
