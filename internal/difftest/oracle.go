@@ -58,11 +58,26 @@ type Result struct {
 // Failed reports whether any comparison diverged.
 func (r *Result) Failed() bool { return len(r.Failures) > 0 }
 
+// engineCells is the engine axis of the matrix: the sequential reference
+// interpreter, the concurrent-SM interpreter, and the predecoded
+// block-dispatch engine. Every cell must be bit-equal to the reference —
+// memory, registers, statistics, and metric snapshots.
+var engineCells = []struct {
+	engine sim.Engine
+	suffix string
+}{
+	{sim.EngineSequential, "seq"},
+	{sim.EngineConcurrent, "par"},
+	{sim.EnginePredecoded, "pre"},
+}
+
 // Run executes the matrix for one generated kernel:
 //
 //	base/seq ──full── base/par          (engine determinism)
+//	base/seq ──full── base/pre          (predecoded-engine equivalence)
 //	base/seq ─transp─ tool/seq          (injection transparency, per tool)
 //	tool/seq ──full── tool/par          (engine determinism under tools)
+//	tool/seq ──full── tool/pre          (predecoded SASSI-site fallback)
 //
 // A non-nil error means the harness itself failed (the kernel would not
 // compile or the uninstrumented reference would not run) — a generator
@@ -80,28 +95,28 @@ func (o *Oracle) Run(p *Prog) (*Result, error) {
 	}
 	res := &Result{Prog: p, NumRegs: base.Kernels[0].NumRegs}
 
-	ref, err := o.launch(p, base, nil, true, "base/seq")
+	ref, err := o.launch(p, base, nil, sim.EngineSequential, "base/seq")
 	res.Launches++
 	if err != nil {
 		return nil, fmt.Errorf("difftest: reference run seed %d: %w", p.Seed, err)
 	}
-	par, err := o.launch(p, base, nil, false, "base/par")
-	res.Launches++
-	if err != nil {
-		res.Failures = append(res.Failures, Failure{Axis: "engine",
-			Want: "base/seq", Got: "base/par", Diff: fmt.Sprintf("launch failed: %v", err)})
-	} else {
-		res.Failures = append(res.Failures, compareFull(ref, par)...)
+	for _, cell := range engineCells[1:] {
+		variant := "base/" + cell.suffix
+		st, err := o.launch(p, base, nil, cell.engine, variant)
+		res.Launches++
+		if err != nil {
+			res.Failures = append(res.Failures, Failure{Axis: "engine",
+				Want: "base/seq", Got: variant, Diff: fmt.Sprintf("launch failed: %v", err)})
+			continue
+		}
+		res.Failures = append(res.Failures, compareFull(ref, st)...)
 	}
 
 	for _, tool := range o.Tools {
 		tool := tool
-		for _, seq := range []bool{true, false} {
-			variant := tool.Name + "/par"
-			if seq {
-				variant = tool.Name + "/seq"
-			}
-			st, err := o.launch(p, nil, &instrumentedSpec{fp: fp, tool: tool}, seq, variant)
+		for _, cell := range engineCells {
+			variant := tool.Name + "/" + cell.suffix
+			st, err := o.launch(p, nil, &instrumentedSpec{fp: fp, tool: tool}, cell.engine, variant)
 			res.Launches++
 			if err != nil {
 				res.Failures = append(res.Failures, Failure{Axis: "transparency",
@@ -109,7 +124,7 @@ func (o *Oracle) Run(p *Prog) (*Result, error) {
 					Diff: fmt.Sprintf("launch failed: %v", err)})
 				break
 			}
-			if seq {
+			if cell.engine == sim.EngineSequential {
 				res.Failures = append(res.Failures,
 					compareTransparent(ref, st, o.HandlerMaxRegs)...)
 				o.lastSeq = st
@@ -135,7 +150,9 @@ func (o *Oracle) Run(p *Prog) (*Result, error) {
 //
 //	base/seq ──arch── sched/seq         (schedule transparency)
 //	base/seq ──arch── sched/par         (… independent of engine)
+//	base/seq ──arch── sched/pre         (… including predecoded dispatch)
 //	sched/seq ─full── sched/par         (engine determinism, scheduled)
+//	sched/seq ─full── sched/pre         (predecoded determinism, scheduled)
 func (o *Oracle) RunSchedule(p *Prog, schedSeed uint64) (*Result, error) {
 	fp, err := o.fingerprint(p)
 	if err != nil {
@@ -160,18 +177,15 @@ func (o *Oracle) RunSchedule(p *Prog, schedSeed uint64) (*Result, error) {
 	}
 	res := &Result{Prog: p, NumRegs: base.Kernels[0].NumRegs}
 
-	ref, err := o.launch(p, base, nil, true, "base/seq")
+	ref, err := o.launch(p, base, nil, sim.EngineSequential, "base/seq")
 	res.Launches++
 	if err != nil {
 		return nil, fmt.Errorf("difftest: reference run seed %d: %w", p.Seed, err)
 	}
 	var schedSeq *RunState
-	for _, seq := range []bool{true, false} {
-		variant := "sched/par"
-		if seq {
-			variant = "sched/seq"
-		}
-		st, err := o.launch(p, sched, nil, seq, variant)
+	for _, cell := range engineCells {
+		variant := "sched/" + cell.suffix
+		st, err := o.launch(p, sched, nil, cell.engine, variant)
 		res.Launches++
 		if err != nil {
 			res.Failures = append(res.Failures, Failure{Axis: "schedule",
@@ -180,7 +194,7 @@ func (o *Oracle) RunSchedule(p *Prog, schedSeed uint64) (*Result, error) {
 			continue
 		}
 		res.Failures = append(res.Failures, compareArch(ref, st)...)
-		if seq {
+		if cell.engine == sim.EngineSequential {
 			schedSeq = st
 		} else if schedSeq != nil {
 			res.Failures = append(res.Failures, compareFull(schedSeq, st)...)
@@ -221,9 +235,9 @@ type instrumentedSpec struct {
 // of base/inst is set: base launches the uninstrumented program, inst
 // builds (through the cache) and launches the tool-instrumented variant.
 func (o *Oracle) launch(p *Prog, base *sass.Program, inst *instrumentedSpec,
-	sequential bool, variant string) (*RunState, error) {
+	engine sim.Engine, variant string) (*RunState, error) {
 	cfg := o.Cfg
-	cfg.SequentialSMs = sequential
+	cfg.Engine = engine
 	ctx := cuda.NewContext(cfg)
 	dev := ctx.Device()
 	reg := obs.NewRegistry()

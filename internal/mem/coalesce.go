@@ -46,8 +46,20 @@ func (r Result) UniqueLines() int { return len(r.Lines) }
 // than the remaining bytes in a line span two lines, as on hardware.
 func (c *Coalescer) Coalesce(a *Access) Result {
 	var res Result
+	c.CoalesceInto(a, &res)
+	return res
+}
+
+// CoalesceInto is Coalesce writing into a caller-owned Result, resetting
+// and reusing res.Lines so a per-SM Result makes the steady state
+// allocation-free. Deduplication is a linear scan of the lines emitted so
+// far: a warp touches a handful of unique lines, where scanning the slice
+// beats a map — and even a fully divergent warp stays a few hundred
+// word compares.
+func (c *Coalescer) CoalesceInto(a *Access, res *Result) {
+	res.Lines = res.Lines[:0]
+	res.NumActive = 0
 	mask := c.LineBytes - 1
-	seen := make(map[uint64]struct{}, 8)
 	for lane := 0; lane < 32; lane++ {
 		if a.Active&(1<<lane) == 0 {
 			continue
@@ -59,17 +71,22 @@ func (c *Coalescer) Coalesce(a *Access) Result {
 			w = 4
 		}
 		last := (a.Addrs[lane] + w - 1) &^ mask
+	lines:
 		for line := first; ; line += c.LineBytes {
-			if _, dup := seen[line]; !dup {
-				seen[line] = struct{}{}
-				res.Lines = append(res.Lines, line)
+			for _, l := range res.Lines {
+				if l == line {
+					if line == last {
+						break lines
+					}
+					continue lines
+				}
 			}
+			res.Lines = append(res.Lines, line)
 			if line == last {
 				break
 			}
 		}
 	}
-	return res
 }
 
 // DivergenceMatrix accumulates the paper's Figure 8 statistic: a 32x32

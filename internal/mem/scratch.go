@@ -61,29 +61,55 @@ func (s *Shared) Write32(off uint64, v uint32) error {
 //
 // The stack pointer register (R1 by ABI) holds a byte offset within this
 // space; the generic-space view of a local address is LocalBase+offset.
+//
+// Backing storage is lazy: most threads of most kernels never touch their
+// stack, so the data slice is only materialized on the first write (the
+// default 4 KiB per thread would otherwise dominate per-launch
+// allocations). Reads before any write return zeros, exactly what an
+// eager zeroed allocation would hold.
 type Local struct {
+	size int
 	data []byte
 }
 
 // NewLocal returns a thread-local memory of the given size. The stack
 // pointer starts at Size (the stack grows down).
-func NewLocal(size int) *Local { return &Local{data: make([]byte, size)} }
+func NewLocal(size int) *Local { return &Local{size: size} }
+
+// Reset reinitializes l to an empty local memory of the given size,
+// releasing any materialized storage. It lets pooled allocators reuse
+// Local values across launches.
+func (l *Local) Reset(size int) {
+	l.size = size
+	l.data = nil
+}
 
 // Size returns the local memory capacity in bytes.
-func (l *Local) Size() int { return len(l.data) }
+func (l *Local) Size() int { return l.size }
 
 func (l *Local) check(off uint64, n int, write bool) error {
-	if off+uint64(n) > uint64(len(l.data)) {
+	if off+uint64(n) > uint64(l.size) {
 		return &Fault{Space: SpaceLocal, Addr: LocalBase + off, Write: write,
 			Why: "local access beyond per-thread allocation (stack overflow?)"}
 	}
 	return nil
 }
 
+// materialize allocates the backing storage on first write.
+func (l *Local) materialize() {
+	if l.data == nil {
+		l.data = make([]byte, l.size)
+	}
+}
+
 // Read copies local memory into buf.
 func (l *Local) Read(off uint64, buf []byte) error {
 	if err := l.check(off, len(buf), false); err != nil {
 		return err
+	}
+	if l.data == nil {
+		clear(buf)
+		return nil
 	}
 	copy(buf, l.data[off:])
 	return nil
@@ -94,6 +120,7 @@ func (l *Local) Write(off uint64, data []byte) error {
 	if err := l.check(off, len(data), true); err != nil {
 		return err
 	}
+	l.materialize()
 	copy(l.data[off:], data)
 	return nil
 }
@@ -103,6 +130,9 @@ func (l *Local) Read32(off uint64) (uint32, error) {
 	if err := l.check(off, 4, false); err != nil {
 		return 0, err
 	}
+	if l.data == nil {
+		return 0, nil
+	}
 	return binary.LittleEndian.Uint32(l.data[off:]), nil
 }
 
@@ -111,6 +141,7 @@ func (l *Local) Write32(off uint64, v uint32) error {
 	if err := l.check(off, 4, true); err != nil {
 		return err
 	}
+	l.materialize()
 	binary.LittleEndian.PutUint32(l.data[off:], v)
 	return nil
 }

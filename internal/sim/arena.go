@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"sync"
+
+	"sassi/internal/mem"
+)
+
+// The predecoded engine arena-allocates per-launch state. A launch's
+// dominant allocations are per-thread: the Thread struct, its register
+// file, and its local-memory descriptor. The arena carves all three for a
+// whole CTA out of reusable slabs; when the CTA retires (after the
+// CTARetire observer has run) its slab returns to the arena, and at launch
+// end the arena itself returns to a package-level pool shared by all
+// devices. Between reuses only the carved prefix is zeroed — a memclr, not
+// an allocation — so steady-state launches allocate no per-thread memory.
+//
+// Warp and CTA structs are deliberately NOT pooled: instrumentation
+// handlers key per-warp state by *Warp (e.g. the CFI shadow stacks, reset
+// only explicitly), so recycling those pointers across launches would
+// alias logically distinct warps. The slab contents are private to the
+// simulator; observers that want thread state past CTA retirement must
+// copy it (the difftest collector does).
+var arenaPool = sync.Pool{New: func() any { return &launchArena{} }}
+
+// launchArena is the per-launch slab pool. getSlab/putSlab are called once
+// per CTA build/retire — coarse enough that a single mutex costs nothing,
+// and it keeps the arena safe when SM goroutines build CTAs concurrently.
+type launchArena struct {
+	mu    sync.Mutex
+	slabs []*ctaSlab
+}
+
+// ctaSlab backs the threads of one CTA. The backing arrays are carved by
+// appending within capacity; capacity is reserved up front for the whole
+// CTA so carving never reallocates (earlier *Thread pointers must stay
+// valid).
+type ctaSlab struct {
+	threads []Thread
+	regs    []uint32
+	locals  []mem.Local
+}
+
+// getSlab returns a slab with capacity for nThreads threads of numRegs
+// registers each, reusing a pooled slab when one is large enough.
+func (a *launchArena) getSlab(nThreads, numRegs int) *ctaSlab {
+	a.mu.Lock()
+	for i := len(a.slabs) - 1; i >= 0; i-- {
+		s := a.slabs[i]
+		if cap(s.threads) >= nThreads && cap(s.regs) >= nThreads*numRegs {
+			a.slabs[i] = a.slabs[len(a.slabs)-1]
+			a.slabs = a.slabs[:len(a.slabs)-1]
+			a.mu.Unlock()
+			return s
+		}
+	}
+	a.mu.Unlock()
+	return &ctaSlab{
+		threads: make([]Thread, 0, nThreads),
+		regs:    make([]uint32, 0, nThreads*numRegs),
+		locals:  make([]mem.Local, 0, nThreads),
+	}
+}
+
+// putSlab returns a retired CTA's slab for reuse. Contents are zeroed at
+// the next carve, not here, so error paths that never reuse pay nothing.
+func (a *launchArena) putSlab(s *ctaSlab) {
+	s.threads = s.threads[:0]
+	s.regs = s.regs[:0]
+	s.locals = s.locals[:0]
+	a.mu.Lock()
+	a.slabs = append(a.slabs, s)
+	a.mu.Unlock()
+}
+
+// newThread carves one thread from the slab: newThread(numRegs,
+// localBytes) with slab-backed storage. The local-memory descriptor is
+// lazy — its data slice is only materialized on first write.
+func (s *ctaSlab) newThread(numRegs, localBytes int) *Thread {
+	s.threads = append(s.threads, Thread{})
+	t := &s.threads[len(s.threads)-1]
+	n := len(s.regs)
+	s.regs = s.regs[:n+numRegs]
+	regs := s.regs[n : n+numRegs : n+numRegs]
+	clear(regs)
+	s.locals = append(s.locals, mem.Local{})
+	l := &s.locals[len(s.locals)-1]
+	l.Reset(localBytes)
+	t.Regs = regs
+	t.Preds = 1 << 7 // PT
+	t.Local = l
+	t.Regs[1] = uint32(localBytes)
+	return t
+}

@@ -25,6 +25,13 @@ type engine struct {
 	cb    []byte // constant bank 0 for this launch
 	stats *KernelStats
 
+	// pre is the predecoded form of k; non-nil only on the predecoded
+	// engine, where it switches warp stepping from step to stepPre.
+	pre *preKernel
+
+	// arena pools per-launch slab allocations (predecoded engine only).
+	arena *launchArena
+
 	sms    []smShard
 	ntid   [3]uint32
 	nctaid [3]uint32
@@ -73,6 +80,13 @@ type smShard struct {
 	// sampling is off and one compare when it is on.
 	samp     *pcsamp.SMBuf
 	sampNext uint64
+
+	// warpOp is the predecoded engine's reusable batch descriptor for
+	// warp-level global accesses (single-writer: only this SM's goroutine
+	// touches it), and coalRes the coalescer result it reuses the same way
+	// so the steady state performs no allocation per access.
+	warpOp  mem.WarpOp
+	coalRes mem.Result
 }
 
 func (e *engine) fail(w *Warp, kind ErrKind, format string, args ...any) error {
@@ -204,6 +218,35 @@ func (e *engine) step(w *Warp) error {
 	cost := issueCost(in)
 	Lanes(exec, func(l int) { w.Threads[l].DynInstrs++ })
 
+	advance, cost, err := e.execOp(w, in, exec, cost)
+	if err != nil {
+		if ke, ok := err.(*KernelError); ok {
+			return ke
+		}
+		if mf, ok := err.(*mem.Fault); ok {
+			return e.fail(w, ErrMemFault, "%v", mf)
+		}
+		return e.fail(w, ErrInvalid, "%v", err)
+	}
+	if advance {
+		w.PC++
+	}
+	stall := w.scoreboard(in, cost)
+	st.cycles += uint64(cost) + stall
+	st.scoreboardStalls += stall
+	if st.samp != nil && st.cycles >= st.sampNext {
+		e.takeSample(st, w, pcIdx, in, nexec, cost, stall, divBefore)
+	}
+	return nil
+}
+
+// execOp dispatches one instruction's operation, already past guard
+// evaluation and issue accounting. It returns whether the PC advances
+// sequentially and the final issue cost (the static cost plus any dynamic
+// memory or handler charge). Both the classic interpreter (step) and the
+// predecoded engine's fallback path (stepPre) funnel through it, so
+// delegated operations cannot diverge between engines.
+func (e *engine) execOp(w *Warp, in *sass.Instruction, exec uint32, cost int) (bool, int, error) {
 	advance := true
 	var err error
 	switch in.Op {
@@ -230,7 +273,7 @@ func (e *engine) step(w *Warp) error {
 	case sass.OpPBK, sass.OpBRK:
 		// The compiler expresses loop exits through the SSY/SYNC idiom;
 		// break tokens are defined by the ISA but never emitted.
-		return e.fail(w, ErrInvalid, "PBK/BRK are not supported by this backend")
+		return false, cost, e.fail(w, ErrInvalid, "PBK/BRK are not supported by this backend")
 
 	case sass.OpEXIT:
 		w.exitLanes(exec)
@@ -244,7 +287,7 @@ func (e *engine) step(w *Warp) error {
 	case sass.OpCAL:
 		advance = false
 		if exec != w.Active {
-			return e.fail(w, ErrInvalid, "divergent CAL is unsupported")
+			return false, cost, e.fail(w, ErrInvalid, "divergent CAL is unsupported")
 		}
 		t, _ := in.BranchTarget()
 		w.CallStack = append(w.CallStack, w.PC+1)
@@ -253,7 +296,7 @@ func (e *engine) step(w *Warp) error {
 	case sass.OpRET:
 		advance = false
 		if len(w.CallStack) == 0 {
-			return e.fail(w, ErrInvalid, "RET with empty call stack")
+			return false, cost, e.fail(w, ErrInvalid, "RET with empty call stack")
 		}
 		w.PC = w.CallStack[len(w.CallStack)-1]
 		w.CallStack = w.CallStack[:len(w.CallStack)-1]
@@ -264,7 +307,7 @@ func (e *engine) step(w *Warp) error {
 
 	case sass.OpBAR:
 		if w.Active != w.Alive || exec != w.Active {
-			return e.fail(w, ErrInvalid, "divergent BAR.SYNC would deadlock")
+			return false, cost, e.fail(w, ErrInvalid, "divergent BAR.SYNC would deadlock")
 		}
 		w.AtBarrier = true
 
@@ -284,26 +327,7 @@ func (e *engine) step(w *Warp) error {
 	default:
 		err = e.execALU(w, in, exec)
 	}
-
-	if err != nil {
-		if ke, ok := err.(*KernelError); ok {
-			return ke
-		}
-		if mf, ok := err.(*mem.Fault); ok {
-			return e.fail(w, ErrMemFault, "%v", mf)
-		}
-		return e.fail(w, ErrInvalid, "%v", err)
-	}
-	if advance {
-		w.PC++
-	}
-	stall := w.scoreboard(in, cost)
-	st.cycles += uint64(cost) + stall
-	st.scoreboardStalls += stall
-	if st.samp != nil && st.cycles >= st.sampNext {
-		e.takeSample(st, w, pcIdx, in, nexec, cost, stall, divBefore)
-	}
-	return nil
+	return advance, cost, err
 }
 
 // execBranch implements predicated BRA with divergence-stack semantics.

@@ -63,6 +63,55 @@ type Config struct {
 	// debugging and the reference mode the equivalence tests compare
 	// against.
 	SequentialSMs bool
+
+	// Engine selects the execution engine. All engines are bit-equal; they
+	// differ only in speed. EngineConcurrent (the zero value) and
+	// EngineSequential are the classic interpreter with parallel or
+	// serialized SMs (EngineSequential implies SequentialSMs).
+	// EnginePredecoded predecodes each kernel at first launch and runs the
+	// block-dispatch interpreter with the uniform-warp fast path; it
+	// composes with SequentialSMs for SM dispatch.
+	Engine Engine
+}
+
+// Engine identifies one of the simulator's execution engines.
+type Engine int
+
+// Execution engines.
+const (
+	// EngineConcurrent is the classic interpreter, one goroutine per SM.
+	EngineConcurrent Engine = iota
+	// EngineSequential is the classic interpreter with SMs simulated one
+	// after another on the calling goroutine (the reference engine the
+	// equivalence tests compare against).
+	EngineSequential
+	// EnginePredecoded is the predecoded block-dispatch engine.
+	EnginePredecoded
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineConcurrent:
+		return "concurrent"
+	case EngineSequential:
+		return "sequential"
+	case EnginePredecoded:
+		return "predecoded"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// ParseEngine converts an engine-selection flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "concurrent", "":
+		return EngineConcurrent, nil
+	case "sequential":
+		return EngineSequential, nil
+	case "predecoded":
+		return EnginePredecoded, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want concurrent, sequential, or predecoded)", s)
 }
 
 // KeplerK10 approximates the paper's Tesla K10 G2 target (case studies
@@ -167,7 +216,9 @@ type Device struct {
 	// MemWatch, when non-nil, observes every warp-level global memory
 	// access after coalescing (trace export, §9.4 "driving other
 	// simulators"). Setting it forces sequential SM execution so the
-	// recorded event order is deterministic.
+	// recorded event order is deterministic. ev.Res may alias an engine
+	// buffer reused on the next access: observers must copy ev.Res.Lines
+	// if they keep it past the callback.
 	MemWatch func(ev MemAccess)
 
 	// Metrics, when non-nil, receives the launch's counters at kernel
@@ -203,6 +254,10 @@ type Device struct {
 	traceMu        sync.Mutex
 	traceNamed     bool
 	traceCycleBase uint64
+
+	// pre caches predecoded kernels for the predecoded engine (keyed by
+	// kernel pointer; kernels are immutable after compilation).
+	pre preCache
 }
 
 // MemAccess is one observed warp-level memory transaction set, tagged with

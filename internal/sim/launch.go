@@ -92,6 +92,13 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 			binary.LittleEndian.PutUint32(e.cb[pd.Offset:], uint32(p.Args[i]))
 		}
 	}
+	if d.Cfg.Engine == EnginePredecoded {
+		// The constant bank's size is a function of the kernel's parameter
+		// layout, so the predecode (which bounds-checks cmem offsets against
+		// it) is valid for every launch and cached per device.
+		e.pre = d.pre.get(k, cbSize)
+		e.arena = arenaPool.Get().(*launchArena)
+	}
 
 	// Geometry.
 	grid, block := p.Grid, p.Block
@@ -152,7 +159,7 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 	smErrs := make([]error, d.Cfg.NumSMs)
 	// A MemWatch observer needs the sequential path: trace events funnel
 	// into one callback, and their order is part of the exported trace.
-	if d.Cfg.SequentialSMs || d.MemWatch != nil {
+	if d.Cfg.SequentialSMs || d.Cfg.Engine == EngineSequential || d.MemWatch != nil {
 		for sm, ctas := range perSM {
 			if len(ctas) == 0 {
 				continue
@@ -186,6 +193,10 @@ func (d *Device) Launch(prog *sass.Program, kernelName string, p LaunchParams) (
 		d.traceAdvance(e.stats.Cycles)
 	}
 	e.publishMetrics()
+	if e.arena != nil {
+		arenaPool.Put(e.arena)
+		e.arena = nil
+	}
 	if e.samp != nil {
 		// Merge even a failed launch's samples: profiles of crashing
 		// kernels are exactly what a profiler is for.
@@ -290,6 +301,9 @@ func (e *engine) buildCTA(ctaIdx int, grid, block Dim3, numRegs, localBytes, sha
 		Kernel: e.k,
 	}
 	threads := block.Count()
+	if e.arena != nil {
+		cta.slab = e.arena.getSlab(threads, numRegs)
+	}
 	numWarps := (threads + WarpSize - 1) / WarpSize
 	for wi := 0; wi < numWarps; wi++ {
 		w := &Warp{CTA: cta, IDinCTA: wi}
@@ -298,7 +312,12 @@ func (e *engine) buildCTA(ctaIdx int, grid, block Dim3, numRegs, localBytes, sha
 			if flat >= threads {
 				break
 			}
-			t := newThread(numRegs, localBytes)
+			var t *Thread
+			if cta.slab != nil {
+				t = cta.slab.newThread(numRegs, localBytes)
+			} else {
+				t = newThread(numRegs, localBytes)
+			}
 			t.FlatTid = uint32(flat)
 			t.TidX = uint32(flat % block.X)
 			t.TidY = uint32(flat / block.X % block.Y)
@@ -332,6 +351,12 @@ func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes
 			pending = pending[1:]
 		}
 		progress := false
+		// With exactly one live warp on the SM and nothing pending, no
+		// other warp can observe the instruction interleaving, so the
+		// predecoded engine may run that warp's whole basic blocks
+		// back-to-back instead of one instruction per sweep.
+		solo := e.pre != nil && len(pending) == 0 && len(resident) == 1 &&
+			resident[0].liveWarps() == 1
 		for _, cta := range resident {
 			for _, w := range cta.Warps {
 				if w.Done {
@@ -341,7 +366,16 @@ func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes
 					st.barrierStallSweeps++
 					continue
 				}
-				if err := e.step(w); err != nil {
+				var err error
+				switch {
+				case solo:
+					err = e.runWarpSolo(w)
+				case e.pre != nil:
+					err = e.stepPre(w)
+				default:
+					err = e.step(w)
+				}
+				if err != nil {
 					return err
 				}
 				progress = true
@@ -375,6 +409,12 @@ func (e *engine) runSM(sm int, ctas []int, grid, block Dim3, numRegs, localBytes
 			if tr != nil {
 				tr.Span(obs.PidDevice, sm, fmt.Sprintf("cta %d", cta.Index),
 					float64(e.cycleBase+cta.traceStart), float64(st.cycles-cta.traceStart), nil)
+			}
+			if cta.slab != nil {
+				// After the retire observer: anyone wanting thread state
+				// beyond this point must have copied it.
+				e.arena.putSlab(cta.slab)
+				cta.slab = nil
 			}
 		}
 		resident = live

@@ -127,12 +127,12 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 	// End-to-end: a full small launch with and without a live registry,
 	// capturing the per-launch publishMetrics cost in context.
-	launch := func(b *testing.B, reg *obs.Registry, samp *pcsamp.Sampler) {
+	launch := func(b *testing.B, reg *obs.Registry, samp *pcsamp.Sampler, engine Engine) {
 		k := &sass.Kernel{Name: "gid", NumRegs: 16, Labels: map[string]int{}}
 		out := k.AddParam("out", 8)
 		k.Instrs = []sass.Instruction{
 			sass.New(sass.OpMOV, []sass.Operand{sass.R(2)}, []sass.Operand{sass.CMem(0, int64(out))}),
-			sass.New(sass.OpMOV, []sass.Operand{sass.R(3)}, []sass.Operand{sass.CMem(0, int64(out + 4))}),
+			sass.New(sass.OpMOV, []sass.Operand{sass.R(3)}, []sass.Operand{sass.CMem(0, int64(out+4))}),
 			sass.New(sass.OpS2R, []sass.Operand{sass.R(0)}, []sass.Operand{sass.SReg(sass.SRTidX)}),
 			{Guard: sass.Always, Op: sass.OpSTG, Mods: sass.Mods{E: true},
 				Srcs: []sass.Operand{sass.Mem(2, 0), sass.R(0)}},
@@ -143,7 +143,9 @@ func BenchmarkObsOverhead(b *testing.B) {
 		}
 		prog := sass.NewProgram()
 		prog.AddKernel(k)
-		dev := NewDevice(MiniGPU())
+		cfg := MiniGPU()
+		cfg.Engine = engine
+		dev := NewDevice(cfg)
 		dev.Metrics = reg
 		dev.PCSamp = samp
 		buf := dev.Alloc(4*64, "out")
@@ -156,7 +158,11 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	}
-	b.Run("launch/disabled", func(b *testing.B) { launch(b, nil, nil) })
-	b.Run("launch/enabled", func(b *testing.B) { launch(b, obs.NewRegistry(), nil) })
-	b.Run("launch/sampled", func(b *testing.B) { launch(b, nil, pcsamp.New(pcsamp.DefaultPeriod)) })
+	b.Run("launch/disabled", func(b *testing.B) { launch(b, nil, nil, EngineConcurrent) })
+	b.Run("launch/enabled", func(b *testing.B) { launch(b, obs.NewRegistry(), nil, EngineConcurrent) })
+	b.Run("launch/sampled", func(b *testing.B) { launch(b, nil, pcsamp.New(pcsamp.DefaultPeriod), EngineConcurrent) })
+	// Predecoded engine: the per-launch predecode is cached per device and
+	// CTA thread state comes from the pooled arena, so steady-state launches
+	// allocate a small fraction of the interpreter's per-launch bytes.
+	b.Run("launch/predecoded", func(b *testing.B) { launch(b, nil, nil, EnginePredecoded) })
 }

@@ -1,0 +1,138 @@
+package sim
+
+// Guards for the predecoded execution engine: the warp-issue steady state
+// must stay allocation-free (mirroring TestWarpIssueZeroAlloc on the
+// interpreter path), and the pooled launch arena must be safe to recycle
+// across concurrent launches (exercised under -race).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sassi/internal/mem"
+	"sassi/internal/sass"
+)
+
+// benchWarpPre is benchWarp with the kernel predecoded and stepped through
+// stepPre, so the allocation guard covers the predecoded dispatch loop:
+// class dispatch, the uniform fast path, per-lane ALU loops, and the BRA
+// control transfer.
+func benchWarpPre(tb testing.TB) func() {
+	tb.Helper()
+	k := &sass.Kernel{Name: "spin", NumRegs: 16, Labels: map[string]int{"loop": 0}}
+	k.Instrs = []sass.Instruction{
+		sass.New(sass.OpIADD, []sass.Operand{sass.R(0)}, []sass.Operand{sass.R(0), sass.R(1)}),
+		sass.New(sass.OpFFMA, []sass.Operand{sass.R(2)}, []sass.Operand{sass.R(2), sass.R(3), sass.R(2)}),
+		sass.New(sass.OpBRA, nil, []sass.Operand{sass.Label("loop")}),
+	}
+	if err := k.ResolveLabels(); err != nil {
+		tb.Fatal(err)
+	}
+	prog := sass.NewProgram()
+	prog.AddKernel(k)
+
+	dev := NewDevice(MiniGPU())
+	e := &engine{dev: dev, prog: prog, k: k}
+	e.pre = dev.pre.get(k, sass.ParamBase)
+	e.stats = &KernelStats{Kernel: k.Name, SMCycles: make([]uint64, dev.Cfg.NumSMs)}
+	e.sms = make([]smShard, dev.Cfg.NumSMs)
+	for i := range e.sms {
+		e.sms[i].hier = mem.Hierarchy{
+			L1: dev.L1s[i], L2: dev.L2s[i], DRAM: dev.DRAMs[i],
+			L1Latency: dev.Cfg.L1Latency, L2Latency: dev.Cfg.L2Latency,
+		}
+	}
+	e.ntid = [3]uint32{32, 1, 1}
+	e.nctaid = [3]uint32{1, 1, 1}
+	cta := e.buildCTA(0, D1(1), D1(32), 16, 0, 0, 0)
+	w := cta.Warps[0]
+	return func() {
+		if err := e.stepPre(w); err != nil {
+			tb.Fatal(err)
+		}
+		w.DynWarpInstrs = 0 // hold the watchdog off
+	}
+}
+
+// TestPredecodedZeroAllocSteadyState pins the predecoded engine's
+// allocation contract: after the launch-time predecode and arena setup,
+// issuing warp instructions through stepPre performs zero heap allocations.
+func TestPredecodedZeroAllocSteadyState(t *testing.T) {
+	step := benchWarpPre(t)
+	step() // warm up (first BRA resolves the divergence-free fall-through)
+	if allocs := testing.AllocsPerRun(1000, func() { step() }); allocs != 0 {
+		t.Errorf("predecoded warp issue allocates %.1f times per instruction, want 0", allocs)
+	}
+}
+
+// TestArenaRecycleConcurrent hammers the shared launch-arena pool from
+// concurrent devices so -race runs verify that slab recycling never hands
+// two live launches overlapping thread state. Each goroutine owns a device
+// but all draw arenas from the global pool; the store/verify kernel makes
+// any cross-launch slab aliasing visible as a wrong result, not just a
+// race report.
+func TestArenaRecycleConcurrent(t *testing.T) {
+	kernel := func(id uint32) (*sass.Program, string) {
+		name := fmt.Sprintf("stamp%d", id)
+		k := &sass.Kernel{Name: name, NumRegs: 16, Labels: map[string]int{}}
+		out := k.AddParam("out", 8)
+		k.Instrs = []sass.Instruction{
+			sass.New(sass.OpMOV, []sass.Operand{sass.R(2)}, []sass.Operand{sass.CMem(0, int64(out))}),
+			sass.New(sass.OpMOV, []sass.Operand{sass.R(3)}, []sass.Operand{sass.CMem(0, int64(out+4))}),
+			sass.New(sass.OpS2R, []sass.Operand{sass.R(0)}, []sass.Operand{sass.SReg(sass.SRTidX)}),
+			sass.New(sass.OpSHL, []sass.Operand{sass.R(4)}, []sass.Operand{sass.R(0), sass.Imm(2)}),
+			sass.New(sass.OpIADD, []sass.Operand{sass.R(2)}, []sass.Operand{sass.R(2), sass.R(4)}),
+			sass.New(sass.OpIADD32, []sass.Operand{sass.R(0)}, []sass.Operand{sass.R(0), sass.Imm(int64(id))}),
+			{Guard: sass.Always, Op: sass.OpSTG, Mods: sass.Mods{E: true},
+				Srcs: []sass.Operand{sass.Mem(2, 0), sass.R(0)}},
+			sass.New(sass.OpEXIT, nil, nil),
+		}
+		if err := k.ResolveLabels(); err != nil {
+			t.Fatal(err)
+		}
+		prog := sass.NewProgram()
+		prog.AddKernel(k)
+		return prog, name
+	}
+
+	const workers = 4
+	const launches = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(id uint32) {
+			defer wg.Done()
+			cfg := MiniGPU()
+			cfg.Engine = EnginePredecoded
+			dev := NewDevice(cfg)
+			prog, name := kernel(id)
+			buf := dev.Alloc(4*64, "out")
+			for i := 0; i < launches; i++ {
+				if _, err := dev.Launch(prog, name, LaunchParams{
+					Grid: D1(2), Block: D1(32), Args: []uint64{buf},
+				}); err != nil {
+					errs <- err
+					return
+				}
+				for tid := uint64(0); tid < 32; tid++ {
+					got, err := dev.Global.Read32(buf + 4*tid)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := uint32(tid) + id; got != want {
+						errs <- fmt.Errorf("launch %d lane %d: got %d, want %d", i, tid, got, want)
+						return
+					}
+				}
+			}
+		}(uint32(1000 * (g + 1)))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -228,6 +228,9 @@ type CTA struct {
 	// traceStart is the SM-cycle count when the CTA became resident (used
 	// only when the device records a trace).
 	traceStart uint64
+	// slab is the arena slab backing this CTA's threads (predecoded
+	// engine only); returned to the arena at retirement.
+	slab *ctaSlab
 }
 
 // liveWarps returns the warps that are neither done nor nil.

@@ -1,0 +1,87 @@
+package workloads_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sassi/internal/cuda"
+	"sassi/internal/ptxas"
+	"sassi/internal/sim"
+	"sassi/internal/workloads"
+)
+
+// engineWall times one end-to-end workload run (best of reps) on the
+// given engine with sequential SM dispatch, so the ratio is pure
+// single-thread efficiency.
+func engineWall(t *testing.T, name, dataset string, engine sim.Engine, reps int) float64 {
+	t.Helper()
+	spec, ok := workloads.Get(name)
+	if !ok {
+		t.Fatalf("workload %s not registered", name)
+	}
+	prog, err := spec.Compile(ptxas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.KeplerK10()
+	cfg.SequentialSMs = true
+	cfg.Engine = engine
+	best := 1e18
+	for i := 0; i < reps; i++ {
+		ctx := cuda.NewContext(cfg)
+		start := time.Now()
+		if _, err := spec.Run(ctx, prog, dataset); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestPredecodedSpeedupFloor is the CI bench-regression smoke: the
+// predecoded engine must stay at least 2x faster than the reference
+// interpreter on parboil.cutcp end to end. cutcp measures 2.5-3.3x on the
+// single-core reference host (see EXPERIMENTS.md for the full Parboil
+// table), so the 2x floor trips on a real engine regression while leaving
+// headroom for shared-runner noise. Wall-clock gates are inherently
+// environment-sensitive, so the test is opt-in via SASSI_BENCH_GATE=1 —
+// CI sets it; plain `go test` skips.
+func TestPredecodedSpeedupFloor(t *testing.T) {
+	if os.Getenv("SASSI_BENCH_GATE") == "" {
+		t.Skip("set SASSI_BENCH_GATE=1 to run the wall-clock regression gate")
+	}
+	const workload = "parboil.cutcp"
+	const floor = 2.0
+	classic := engineWall(t, workload, "default", sim.EngineConcurrent, 3)
+	pre := engineWall(t, workload, "default", sim.EnginePredecoded, 3)
+	ratio := classic / pre
+	t.Logf("%s: interpreter %.2fms, predecoded %.2fms, speedup %.2fx (floor %.1fx)",
+		workload, classic*1e3, pre*1e3, ratio, floor)
+	if ratio < floor {
+		t.Errorf("predecoded engine speedup %.2fx below the %.1fx regression floor on %s",
+			ratio, floor, workload)
+	}
+}
+
+// TestEngineSpeedSweep logs the per-workload interpreter-vs-predecoded
+// wall-clock table over the Parboil suite — the source of EXPERIMENTS.md's
+// speedup table. Opt-in like the gate: it exists to re-measure, not to
+// assert.
+func TestEngineSpeedSweep(t *testing.T) {
+	if os.Getenv("SASSI_BENCH_GATE") == "" {
+		t.Skip("set SASSI_BENCH_GATE=1 to run the engine speed sweep")
+	}
+	for _, spec := range workloads.All() {
+		if !strings.HasPrefix(spec.Name, "parboil.") {
+			continue
+		}
+		classic := engineWall(t, spec.Name, "default", sim.EngineConcurrent, 2)
+		pre := engineWall(t, spec.Name, "default", sim.EnginePredecoded, 2)
+		t.Logf("%-22s interpreter %8.2fms  predecoded %8.2fms  speedup %.2fx",
+			spec.Name, classic*1e3, pre*1e3, classic/pre)
+	}
+}
